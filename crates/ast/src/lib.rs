@@ -1,0 +1,40 @@
+//! The Lilac surface language: abstract syntax, lexer, and parser.
+//!
+//! Lilac (from "Parameterized Hardware Design with Latency-Abstract
+//! Interfaces") is a parameterized hardware description language built on
+//! timeline types. This crate implements the front half of the compiler:
+//!
+//! * [`ast`] — the abstract syntax tree mirroring Figure 7a of the paper:
+//!   components with input parameters, events with delays, ports with
+//!   availability intervals, output parameters (`with { some #L ... }`),
+//!   and the command language (instantiations, invocations, connections,
+//!   bundles, `let`, `for`, `if`, `assume`/`assert`).
+//! * [`lexer`] — a hand-written tokenizer for the surface syntax.
+//! * [`parser`] — a recursive-descent parser producing [`ast::Program`]s.
+//! * [`printer`] — a pretty printer that round-trips parsed programs.
+//!
+//! # Example
+//!
+//! ```
+//! use lilac_ast::parse_program;
+//!
+//! let src = r#"
+//! extern comp Reg[#W]<G:1>(in: [G, G+1] #W) -> (out: [G+1, G+2] #W);
+//!
+//! comp Pass[#W]<G:1>(i: [G, G+1] #W) -> (o: [G+1, G+2] #W) {
+//!     r := new Reg[#W]<G>(i);
+//!     o = r.out;
+//! }
+//! "#;
+//! let (program, _map) = parse_program("pass.lilac", src)?;
+//! assert_eq!(program.modules.len(), 2);
+//! # Ok::<(), lilac_util::LilacError>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::*;
+pub use parser::{parse_program, parse_program_in};

@@ -1,0 +1,313 @@
+//! Pretty printer for Lilac programs.
+//!
+//! Printing is used by diagnostics (to show interval expressions in type
+//! errors exactly as the paper does, e.g. `[G+Add::#L, G+Add::#L+1]`), by the
+//! Figure 8 harness (to count lines of bundled designs), and in tests to
+//! check that parsing round-trips.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a parameter expression in surface syntax.
+pub fn print_param_expr(e: &ParamExpr) -> String {
+    match e {
+        ParamExpr::Nat(n) => n.to_string(),
+        ParamExpr::Param(p) => format!("#{p}"),
+        ParamExpr::Bin(op, a, b) => {
+            format!("({} {} {})", print_param_expr(a), op.symbol(), print_param_expr(b))
+        }
+        ParamExpr::Un(op, a) => format!("{}({})", op.symbol(), print_param_expr(a)),
+        ParamExpr::CompAccess { comp, args, param } => {
+            let args = args.iter().map(print_param_expr).collect::<Vec<_>>().join(", ");
+            format!("{comp}[{args}]::#{param}")
+        }
+        ParamExpr::InstAccess { instance, param } => format!("{instance}::#{param}"),
+        ParamExpr::Cond(c, a, b) => {
+            format!(
+                "({} ? {} : {})",
+                print_constraint(c),
+                print_param_expr(a),
+                print_param_expr(b)
+            )
+        }
+    }
+}
+
+/// Renders a constraint in surface syntax.
+pub fn print_constraint(c: &Constraint) -> String {
+    match c {
+        Constraint::Cmp(op, a, b) => {
+            format!("{} {} {}", print_param_expr(a), op.symbol(), print_param_expr(b))
+        }
+        Constraint::NonZero(e) => print_param_expr(e),
+        Constraint::Not(c) => format!("!({})", print_constraint(c)),
+        Constraint::And(a, b) => format!("{} && {}", print_constraint(a), print_constraint(b)),
+        Constraint::Or(a, b) => format!("{} || {}", print_constraint(a), print_constraint(b)),
+        Constraint::True => "true".to_string(),
+    }
+}
+
+/// Renders a time expression (`G+#L`).
+pub fn print_time(t: &TimeExpr) -> String {
+    match (&t.event, &t.offset) {
+        (Some(ev), ParamExpr::Nat(0)) => ev.to_string(),
+        (Some(ev), off) => format!("{ev}+{}", print_param_expr(off)),
+        (None, off) => print_param_expr(off),
+    }
+}
+
+/// Renders an availability interval (`[G, G+1]`).
+pub fn print_interval(i: &Interval) -> String {
+    format!("[{}, {}]", print_time(&i.start), print_time(&i.end))
+}
+
+/// Renders an access path (`add.out`, `w{#k}`).
+pub fn print_access(a: &Access) -> String {
+    match a {
+        Access::Var(id) => id.to_string(),
+        Access::Port { inv, port } => format!("{inv}.{port}"),
+        Access::Index { base, index } => {
+            format!("{}{{{}}}", print_access(base), print_param_expr(index))
+        }
+        Access::Range { base, start, end } => format!(
+            "{}[{}..{}]",
+            print_access(base),
+            print_param_expr(start),
+            print_param_expr(end)
+        ),
+        Access::Const { value, width } => format!("const({value}, {})", print_param_expr(width)),
+    }
+}
+
+fn print_port(p: &PortDecl) -> String {
+    let dims = if p.dims.is_empty() {
+        String::new()
+    } else {
+        format!("[{}]", p.dims.iter().map(print_param_expr).collect::<Vec<_>>().join(", "))
+    };
+    match &p.ty {
+        PortType::Interface { event } => format!("{}{dims}: interface[{event}]", p.name),
+        PortType::Data { width } => {
+            format!("{}{dims}: {} {}", p.name, print_interval(&p.liveness), print_param_expr(width))
+        }
+    }
+}
+
+/// Renders a full signature on one line.
+pub fn print_signature(sig: &Signature) -> String {
+    let mut s = sig.name.to_string();
+    if !sig.params.is_empty() {
+        let ps = sig
+            .params
+            .iter()
+            .map(|p| match &p.default {
+                Some(d) => format!("#{} = {}", p.name, print_param_expr(d)),
+                None => format!("#{}", p.name),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(s, "[{ps}]").unwrap();
+    }
+    if !sig.events.is_empty() {
+        let es = sig
+            .events
+            .iter()
+            .map(|e| format!("{}: {}", e.name, print_param_expr(&e.delay)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(s, "<{es}>").unwrap();
+    }
+    let ins = sig.inputs.iter().map(print_port).collect::<Vec<_>>().join(", ");
+    write!(s, "({ins})").unwrap();
+    if !sig.outputs.is_empty() {
+        let outs = sig.outputs.iter().map(print_port).collect::<Vec<_>>().join(", ");
+        write!(s, " -> ({outs})").unwrap();
+    }
+    if !sig.out_params.is_empty() {
+        let binds = sig
+            .out_params
+            .iter()
+            .map(|b| {
+                if b.constraints.is_empty() {
+                    format!("some #{};", b.name)
+                } else {
+                    let cs =
+                        b.constraints.iter().map(print_constraint).collect::<Vec<_>>().join(", ");
+                    format!("some #{} where {cs};", b.name)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        write!(s, " with {{ {binds} }}").unwrap();
+    }
+    if !sig.where_clauses.is_empty() {
+        let cs = sig.where_clauses.iter().map(print_constraint).collect::<Vec<_>>().join(", ");
+        write!(s, " where {cs}").unwrap();
+    }
+    s
+}
+
+fn print_cmd(cmd: &Cmd, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match cmd {
+        Cmd::Instantiate { name, comp, params, .. } => {
+            let ps = params.iter().map(print_param_expr).collect::<Vec<_>>().join(", ");
+            writeln!(out, "{pad}{name} := new {comp}[{ps}];").unwrap();
+        }
+        Cmd::Invoke { name, instance, schedule, args, .. } => {
+            let sched = schedule.iter().map(print_time).collect::<Vec<_>>().join(", ");
+            let args = args.iter().map(print_access).collect::<Vec<_>>().join(", ");
+            writeln!(out, "{pad}{name} := {instance}<{sched}>({args});").unwrap();
+        }
+        Cmd::InstInvoke { name, comp, params, schedule, args, .. } => {
+            let ps = params.iter().map(print_param_expr).collect::<Vec<_>>().join(", ");
+            let sched = schedule.iter().map(print_time).collect::<Vec<_>>().join(", ");
+            let args = args.iter().map(print_access).collect::<Vec<_>>().join(", ");
+            writeln!(out, "{pad}{name} := new {comp}[{ps}]<{sched}>({args});").unwrap();
+        }
+        Cmd::Connect { dst, src, .. } => {
+            writeln!(out, "{pad}{} = {};", print_access(dst), print_access(src)).unwrap();
+        }
+        Cmd::Let { name, value, .. } => {
+            writeln!(out, "{pad}let #{name} = {};", print_param_expr(value)).unwrap();
+        }
+        Cmd::OutParamBind { name, value, .. } => {
+            writeln!(out, "{pad}#{name} := {};", print_param_expr(value)).unwrap();
+        }
+        Cmd::Bundle { name, idx_vars, dims, liveness, width, .. } => {
+            let vars = idx_vars.iter().map(|v| format!("#{v}")).collect::<Vec<_>>().join(", ");
+            let dims = dims.iter().map(print_param_expr).collect::<Vec<_>>().join(", ");
+            writeln!(
+                out,
+                "{pad}bundle<{vars}> {name}[{dims}]: {} {};",
+                print_interval(liveness),
+                print_param_expr(width)
+            )
+            .unwrap();
+        }
+        Cmd::Assume { constraint, .. } => {
+            writeln!(out, "{pad}assume {};", print_constraint(constraint)).unwrap();
+        }
+        Cmd::Assert { constraint, .. } => {
+            writeln!(out, "{pad}assert {};", print_constraint(constraint)).unwrap();
+        }
+        Cmd::If { cond, then_body, else_body, .. } => {
+            writeln!(out, "{pad}if {} {{", print_constraint(cond)).unwrap();
+            for c in then_body {
+                print_cmd(c, indent + 1, out);
+            }
+            if else_body.is_empty() {
+                writeln!(out, "{pad}}}").unwrap();
+            } else {
+                writeln!(out, "{pad}}} else {{").unwrap();
+                for c in else_body {
+                    print_cmd(c, indent + 1, out);
+                }
+                writeln!(out, "{pad}}}").unwrap();
+            }
+        }
+        Cmd::For { var, start, end, body, .. } => {
+            writeln!(
+                out,
+                "{pad}for #{var} in {}..{} {{",
+                print_param_expr(start),
+                print_param_expr(end)
+            )
+            .unwrap();
+            for c in body {
+                print_cmd(c, indent + 1, out);
+            }
+            writeln!(out, "{pad}}}").unwrap();
+        }
+    }
+}
+
+/// Renders a module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    match &m.kind {
+        ModuleKind::Comp { body } => {
+            writeln!(out, "comp {} {{", print_signature(&m.sig)).unwrap();
+            for cmd in body {
+                print_cmd(cmd, 1, &mut out);
+            }
+            writeln!(out, "}}").unwrap();
+        }
+        ModuleKind::Extern { path } => {
+            match path {
+                Some(p) => writeln!(out, "extern \"{p}\" comp {};", print_signature(&m.sig)),
+                None => writeln!(out, "extern comp {};", print_signature(&m.sig)),
+            }
+            .unwrap();
+        }
+        ModuleKind::Gen { tool } => {
+            writeln!(out, "gen \"{tool}\" comp {};", print_signature(&m.sig)).unwrap();
+        }
+    }
+    out
+}
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    p.modules.iter().map(print_module).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SHIFT: &str = r#"
+        extern comp Reg[#W]<G:1>(in: [G, G+1] #W) -> (out: [G+1, G+2] #W);
+        comp Shift[#W, #N]<G:1>(input: [G, G+1] #W) -> (out: [G+#N, G+#N+1] #W) where #N >= 0 {
+            bundle<#i> w[#N+1]: [G+#i, G+#i+1] #W;
+            w{0} = input;
+            out = w{#N};
+            for #k in 0..#N {
+                r := new Reg[#W]<G+#k>(w{#k});
+                w{#k+1} = r.out;
+            }
+        }
+    "#;
+
+    #[test]
+    fn print_and_reparse_round_trips() {
+        let (p1, _) = parse_program("a.lilac", SHIFT).unwrap();
+        let printed = print_program(&p1);
+        let (p2, _) = parse_program("b.lilac", &printed).unwrap();
+        // Spans differ, so compare re-printed text.
+        assert_eq!(printed, print_program(&p2));
+        assert_eq!(p1.modules.len(), p2.modules.len());
+    }
+
+    #[test]
+    fn interval_rendering_matches_paper_style() {
+        let (p, _) = parse_program(
+            "f.lilac",
+            "gen \"flopoco\" comp FPAdd[#W]<G:1>(l: [G, G+1] #W) -> (o: [G+#L, G+#L+1] #W) with { some #L; };",
+        )
+        .unwrap();
+        let sig = &p.modules[0].sig;
+        assert_eq!(print_interval(&sig.outputs[0].liveness), "[G+#L, G+(#L + 1)]");
+        assert_eq!(print_interval(&sig.inputs[0].liveness), "[G, G+1]");
+    }
+
+    #[test]
+    fn print_conditional_expression() {
+        let e = ParamExpr::Cond(
+            Box::new(Constraint::gt(ParamExpr::param("Fr"), ParamExpr::Nat(0))),
+            Box::new(ParamExpr::Nat(5)),
+            Box::new(ParamExpr::Nat(3)),
+        );
+        assert_eq!(print_param_expr(&e), "(#Fr > 0 ? 5 : 3)");
+    }
+
+    #[test]
+    fn print_access_forms() {
+        assert_eq!(print_access(&Access::port("add", "out")), "add.out");
+        assert_eq!(
+            print_access(&Access::Const { value: 3, width: ParamExpr::Nat(8) }),
+            "const(3, 8)"
+        );
+    }
+}

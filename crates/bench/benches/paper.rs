@@ -1,0 +1,71 @@
+//! Criterion benchmarks: the compile-time costs the paper reports (Figure 8's
+//! type-check times) plus elaboration and cost-model throughput for the
+//! table/figure harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lilac_core::check_program;
+use lilac_designs::Design;
+use lilac_elab::{elaborate, ElabConfig};
+use std::collections::BTreeMap;
+
+fn bench_typecheck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typecheck");
+    group.sample_size(10);
+    for design in Design::all() {
+        let program = design.program().expect("bundled design parses");
+        group.bench_function(design.name(), |b| {
+            b.iter(|| check_program(std::hint::black_box(&program)).expect("design checks"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    group.sample_size(20);
+    for design in [Design::Stdlib, Design::Gbp, Design::BlasLevel1] {
+        group.bench_function(design.name(), |b| b.iter(|| design.program().expect("parses")));
+    }
+    group.finish();
+}
+
+fn bench_elaborate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elaborate");
+    group.sample_size(10);
+    let fpu = Design::Fpu.program().expect("fpu parses");
+    group.bench_function("FPU W=32", |b| {
+        b.iter(|| {
+            elaborate(
+                &fpu,
+                "FPU",
+                &BTreeMap::from([("W".to_string(), 32)]),
+                &ElabConfig::default(),
+            )
+            .expect("elaborates")
+        })
+    });
+    let gbp = Design::Gbp.program().expect("gbp parses");
+    group.bench_function("GBP W=8", |b| {
+        b.iter(|| {
+            elaborate(
+                &gbp,
+                "Gbp",
+                &BTreeMap::from([("W".to_string(), 8)]),
+                &ElabConfig::default(),
+            )
+            .expect("elaborates")
+        })
+    });
+    group.finish();
+}
+
+fn bench_harnesses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhibits");
+    group.sample_size(10);
+    group.bench_function("table1", |b| b.iter(|| lilac_bench::table1().expect("table1")));
+    group.bench_function("figure13", |b| b.iter(|| lilac_bench::figure13().expect("figure13")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_typecheck, bench_parse, bench_elaborate, bench_harnesses);
+criterion_main!(benches);

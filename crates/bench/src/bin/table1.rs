@@ -1,0 +1,19 @@
+//! Regenerates Table 1: resource usage of latency-sensitive (LS) and
+//! latency-insensitive (LI) FPU implementations.
+
+fn main() {
+    let rows = lilac_bench::table1().expect("table 1 harness");
+    println!("Table 1: Resource usage of LS and LI FPU implementations");
+    println!("{:<16} {:>8} {:>11} {:>12}", "Configuration", "LUTs", "Registers", "Freq. (MHz)");
+    for row in rows {
+        println!(
+            "{:<16} {:>8} {:>11} {:>12.1}",
+            format!("{} (A={}, M={})", row.style, row.adder_latency, row.multiplier_latency),
+            row.cost.luts,
+            row.cost.registers,
+            row.cost.fmax_mhz
+        );
+    }
+    println!("\nPaper (Vivado): LI needs 29-31% more LUTs, 3-4x the registers, and");
+    println!("reaches 21-25% lower frequency than LS at the same configuration.");
+}

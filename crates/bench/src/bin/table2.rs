@@ -1,0 +1,16 @@
+//! Regenerates Table 2: when an interface's timing behaviour is known.
+
+fn main() {
+    println!("Table 2: When an interface's timing behavior is known");
+    println!("{:<28} {:>8} {:>9} {:>9}", "Interface", "Design", "Compile", "Execute");
+    for row in lilac_bench::table2() {
+        let mark = |b: bool| if b { "yes" } else { "no" };
+        println!(
+            "{:<28} {:>8} {:>9} {:>9}",
+            row.style.to_string(),
+            mark(row.known.0),
+            mark(row.known.1),
+            mark(row.known.2)
+        );
+    }
+}

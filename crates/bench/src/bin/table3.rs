@@ -1,0 +1,11 @@
+//! Regenerates Table 3: generators integrated with Lilac and the interface
+//! features needed to capture them.
+
+fn main() {
+    println!("Table 3: Generators integrated with Lilac and features needed");
+    println!("{:<14} Features", "Generator");
+    for row in lilac_bench::table3() {
+        let features: Vec<String> = row.features.iter().map(|f| f.to_string()).collect();
+        println!("{:<14} {}", row.generator, features.join(", "));
+    }
+}

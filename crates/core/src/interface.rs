@@ -1,0 +1,278 @@
+//! Interface taxonomy: when timing behaviour is known, and which Lilac
+//! features a generator interface needs.
+//!
+//! This module backs two of the paper's exhibits:
+//!
+//! * **Table 2** — for each interface style (latency-sensitive,
+//!   latency-abstract, latency-insensitive), whether the timing behaviour is
+//!   known at design time, compile (elaboration) time, and execution time.
+//! * **Table 3** — for each integrated generator, which Lilac features its
+//!   interface requires: input-parameter-dependent timing, output parameters,
+//!   parameter-dependent pipelining (initiation interval > 1), and
+//!   multi-cycle availability intervals.
+//!
+//! Feature detection is *structural*: it inspects a parsed [`Signature`] and
+//! reports which features the interface actually uses, so the Table 3
+//! harness derives its rows from the generator interfaces bundled in
+//! `lilac-designs` rather than from a hard-coded list.
+
+use lilac_ast::{ParamExpr, PortType, Signature};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The three interface styles compared throughout the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum InterfaceStyle {
+    /// Latency-sensitive: concrete timing fixed in the source.
+    LatencySensitive,
+    /// Latency-abstract: timing abstracted behind parameters, concrete after
+    /// elaboration.
+    LatencyAbstract,
+    /// Latency-insensitive: timing resolved dynamically with ready/valid
+    /// handshakes.
+    LatencyInsensitive,
+}
+
+impl fmt::Display for InterfaceStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InterfaceStyle::LatencySensitive => "Latency Sensitive (LS)",
+            InterfaceStyle::LatencyAbstract => "Latency Abstract (LA)",
+            InterfaceStyle::LatencyInsensitive => "Latency Insensitive (LI)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether an interface's timing behaviour is known at each stage (Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimingKnowledge {
+    /// Known while the designer writes the source.
+    pub at_design_time: bool,
+    /// Known once the design is elaborated/compiled.
+    pub at_compile_time: bool,
+    /// Known during execution.
+    pub at_execute_time: bool,
+}
+
+impl InterfaceStyle {
+    /// The Table 2 row for this interface style.
+    pub fn timing_knowledge(self) -> TimingKnowledge {
+        match self {
+            InterfaceStyle::LatencySensitive => TimingKnowledge {
+                at_design_time: true,
+                at_compile_time: true,
+                at_execute_time: true,
+            },
+            InterfaceStyle::LatencyAbstract => TimingKnowledge {
+                at_design_time: false,
+                at_compile_time: true,
+                at_execute_time: true,
+            },
+            InterfaceStyle::LatencyInsensitive => TimingKnowledge {
+                at_design_time: false,
+                at_compile_time: false,
+                at_execute_time: true,
+            },
+        }
+    }
+
+    /// All styles, in the order Table 2 lists them.
+    pub fn all() -> [InterfaceStyle; 3] {
+        [
+            InterfaceStyle::LatencySensitive,
+            InterfaceStyle::LatencyAbstract,
+            InterfaceStyle::LatencyInsensitive,
+        ]
+    }
+}
+
+/// The Lilac features a generator interface may require (Table 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum GeneratorFeature {
+    /// Input parameters affect timing behaviour (`in-dep`).
+    InputDependentTiming,
+    /// Output parameters affect timing behaviour (`out-dep`).
+    OutputDependentTiming,
+    /// Parameter-dependent pipelining: initiation interval can exceed one
+    /// (`ii-gt-1`).
+    InitiationIntervalGreaterThanOne,
+    /// Inputs must be held stable for more than one cycle (`multi`).
+    MultiCycleInterval,
+}
+
+impl GeneratorFeature {
+    /// The short name used in Table 3.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            GeneratorFeature::InputDependentTiming => "in-dep",
+            GeneratorFeature::OutputDependentTiming => "out-dep",
+            GeneratorFeature::InitiationIntervalGreaterThanOne => "ii-gt-1",
+            GeneratorFeature::MultiCycleInterval => "multi",
+        }
+    }
+}
+
+impl fmt::Display for GeneratorFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Detects which Lilac features `sig`'s interface uses.
+///
+/// * `in-dep`: a port availability bound or event delay mentions an *input*
+///   parameter.
+/// * `out-dep`: a port availability bound or event delay mentions an *output*
+///   parameter.
+/// * `ii-gt-1`: some event delay is not the constant 1.
+/// * `multi`: some input port is required for more than one cycle.
+pub fn detect_features(sig: &Signature) -> BTreeSet<GeneratorFeature> {
+    let mut features = BTreeSet::new();
+    let input_params: BTreeSet<&str> = sig.params.iter().map(|p| p.name.as_str()).collect();
+    let output_params: BTreeSet<&str> = sig.out_params.iter().map(|p| p.name.as_str()).collect();
+
+    let mut timing_exprs: Vec<&ParamExpr> = Vec::new();
+    for e in &sig.events {
+        timing_exprs.push(&e.delay);
+        if e.delay.as_nat() != Some(1) {
+            features.insert(GeneratorFeature::InitiationIntervalGreaterThanOne);
+        }
+    }
+    for port in sig.inputs.iter().chain(sig.outputs.iter()) {
+        if matches!(port.ty, PortType::Interface { .. }) {
+            continue;
+        }
+        timing_exprs.push(&port.liveness.start.offset);
+        timing_exprs.push(&port.liveness.end.offset);
+    }
+    for port in &sig.inputs {
+        if matches!(port.ty, PortType::Interface { .. }) {
+            continue;
+        }
+        // Multi-cycle hold: the interval is longer than one cycle. This is
+        // syntactic: either `end - start` folds to a constant greater than
+        // one, or the end offset mentions a parameter that the start offset
+        // does not (e.g. `[G, G+#H]`).
+        let (s, e) = (&port.liveness.start.offset, &port.liveness.end.offset);
+        match (s.as_nat(), e.as_nat()) {
+            (Some(a), Some(b)) if b > a + 1 => {
+                features.insert(GeneratorFeature::MultiCycleInterval);
+            }
+            (_, _) => {
+                let mut sp = Vec::new();
+                let mut ep = Vec::new();
+                s.collect_params(&mut sp);
+                e.collect_params(&mut ep);
+                let sp: BTreeSet<&str> = sp.iter().map(|i| i.as_str()).collect();
+                let ep: BTreeSet<&str> = ep.iter().map(|i| i.as_str()).collect();
+                if ep.difference(&sp).next().is_some() {
+                    features.insert(GeneratorFeature::MultiCycleInterval);
+                }
+            }
+        }
+    }
+
+    for expr in timing_exprs {
+        let mut params = Vec::new();
+        expr.collect_params(&mut params);
+        for p in params {
+            if input_params.contains(p.as_str()) {
+                features.insert(GeneratorFeature::InputDependentTiming);
+            }
+            if output_params.contains(p.as_str()) {
+                features.insert(GeneratorFeature::OutputDependentTiming);
+            }
+        }
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lilac_ast::parse_program;
+
+    fn features_of(src: &str) -> BTreeSet<GeneratorFeature> {
+        let (prog, _) = parse_program("t.lilac", src).unwrap();
+        detect_features(&prog.modules[0].sig)
+    }
+
+    #[test]
+    fn table2_rows() {
+        let ls = InterfaceStyle::LatencySensitive.timing_knowledge();
+        assert!(ls.at_design_time && ls.at_compile_time && ls.at_execute_time);
+        let la = InterfaceStyle::LatencyAbstract.timing_knowledge();
+        assert!(!la.at_design_time && la.at_compile_time && la.at_execute_time);
+        let li = InterfaceStyle::LatencyInsensitive.timing_knowledge();
+        assert!(!li.at_design_time && !li.at_compile_time && li.at_execute_time);
+        assert_eq!(InterfaceStyle::all().len(), 3);
+    }
+
+    #[test]
+    fn vivado_multiplier_is_input_dependent_only() {
+        // Like §6.1: latency is an explicit input parameter.
+        let f = features_of(
+            "extern comp Mult[#W, #L]<G:1>(a: [G, G+1] #W, b: [G, G+1] #W) -> (o: [G+#L, G+#L+1] #W);",
+        );
+        assert!(f.contains(&GeneratorFeature::InputDependentTiming));
+        assert!(!f.contains(&GeneratorFeature::OutputDependentTiming));
+        assert!(!f.contains(&GeneratorFeature::InitiationIntervalGreaterThanOne));
+        assert!(!f.contains(&GeneratorFeature::MultiCycleInterval));
+    }
+
+    #[test]
+    fn flopoco_adder_is_output_dependent() {
+        let f = features_of(
+            "gen \"flopoco\" comp FPAdd[#W]<G:1>(l: [G, G+1] #W, r: [G, G+1] #W) -> (o: [G+#L, G+#L+1] #W) with { some #L where #L > 0; };",
+        );
+        assert!(f.contains(&GeneratorFeature::InputDependentTiming) == false);
+        assert!(f.contains(&GeneratorFeature::OutputDependentTiming));
+    }
+
+    #[test]
+    fn aetherling_conv_needs_everything() {
+        let f = features_of(
+            r#"gen "aetherling" comp AethConv[#W]<G:#II>(
+                in[#N]: [G, G+#H] #W
+            ) -> (out[#N]: [G+#L, G+#L+1] #W) with {
+                some #H where #H > 0;
+                some #N where 16 % #N == 0, #N > 0;
+                some #L where #L > 0;
+                some #II where #II >= #H;
+            };"#,
+        );
+        // Structurally, Figure 10a's interface exposes its timing only
+        // through output parameters (the Table 3 `in-dep` mark refers to the
+        // generator's own configuration knobs, which the generator model in
+        // `lilac-gen` declares separately).
+        assert!(!f.contains(&GeneratorFeature::InputDependentTiming));
+        assert!(f.contains(&GeneratorFeature::OutputDependentTiming));
+        assert!(f.contains(&GeneratorFeature::InitiationIntervalGreaterThanOne));
+        assert!(f.contains(&GeneratorFeature::MultiCycleInterval));
+    }
+
+    #[test]
+    fn fixed_latency_module_has_no_features() {
+        let f = features_of(
+            "extern comp LutMult<G:1>[#W](n: [G, G+1] #W, d: [G, G+1] #W) -> (q: [G+8, G+9] #W);",
+        );
+        // Bitwidth affects ports but not timing, so no timing features.
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn constant_multi_cycle_interval_detected() {
+        let f = features_of("extern comp Hold<G:4>(i: [G, G+3] 8) -> (o: [G+4, G+5] 8);");
+        assert!(f.contains(&GeneratorFeature::MultiCycleInterval));
+        assert!(f.contains(&GeneratorFeature::InitiationIntervalGreaterThanOne));
+    }
+
+    #[test]
+    fn feature_names_match_table3() {
+        assert_eq!(GeneratorFeature::InputDependentTiming.to_string(), "in-dep");
+        assert_eq!(GeneratorFeature::OutputDependentTiming.to_string(), "out-dep");
+        assert_eq!(GeneratorFeature::InitiationIntervalGreaterThanOne.to_string(), "ii-gt-1");
+        assert_eq!(GeneratorFeature::MultiCycleInterval.to_string(), "multi");
+    }
+}

@@ -1,0 +1,258 @@
+//! Bundled Lilac designs: the standard library and the paper's case studies.
+//!
+//! Every design ships as Lilac source text (under `lilac/`), is parsed with
+//! `lilac-ast`, type-checks with `lilac-core`, and elaborates with
+//! `lilac-elab`. The set mirrors the designs the paper reports on:
+//!
+//! | Design | Paper reference |
+//! |---|---|
+//! | Standard library (`stdlib.lilac`) | §5.1, Figure 8 ("Lilac's standard library") |
+//! | FPU over FloPoCo cores (`fpu.lilac`) | §2, §3, Table 1 |
+//! | Vivado divider wrappers (`divider.lilac`) | §6.1, Figure 9 |
+//! | Gaussian blur pyramid (`gbp.lilac`) | §7, Figure 13 |
+//! | FFT, Lilac-only and FloPoCo variants (`fft.lilac`) | Figure 8 |
+//! | RISC 3-stage pipeline (`risc.lilac`) | Figure 8 |
+//! | BLAS level-1 kernels (`blas.lilac`) | Figure 8 |
+//!
+//! # Example
+//!
+//! ```
+//! use lilac_designs::Design;
+//!
+//! let fpu = Design::Fpu.program()?;
+//! assert!(fpu.module_named("FPU").is_some());
+//! assert!(Design::all().len() >= 6);
+//! # Ok::<(), lilac_util::LilacError>(())
+//! ```
+
+use lilac_ast::{parse_program, Program};
+use lilac_util::diag::Result;
+use lilac_util::span::SourceMap;
+
+/// The Lilac standard library source.
+pub const STDLIB_SRC: &str = include_str!("../lilac/stdlib.lilac");
+/// The FPU design source (requires the standard library).
+pub const FPU_SRC: &str = include_str!("../lilac/fpu.lilac");
+/// The Vivado divider wrapper source (requires the standard library).
+pub const DIVIDER_SRC: &str = include_str!("../lilac/divider.lilac");
+/// The Gaussian blur pyramid source (requires the standard library).
+pub const GBP_SRC: &str = include_str!("../lilac/gbp.lilac");
+/// The Lilac-only FFT source (requires the standard library).
+pub const FFT_SRC: &str = include_str!("../lilac/fft.lilac");
+/// The FloPoCo-based FFT source (requires the standard library and the FPU's
+/// generator declarations).
+pub const FFT_FLOPOCO_SRC: &str = include_str!("../lilac/fft_flopoco.lilac");
+/// The RISC 3-stage pipeline source (requires the standard library).
+pub const RISC_SRC: &str = include_str!("../lilac/risc.lilac");
+/// The BLAS level-1 kernel source (requires the standard library).
+pub const BLAS_SRC: &str = include_str!("../lilac/blas.lilac");
+
+/// The bundled designs, in the order Figure 8 lists them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum Design {
+    /// RISC 3-stage pipeline.
+    Risc3,
+    /// Gaussian blur pyramid (§7).
+    Gbp,
+    /// FFT built only from Lilac components.
+    FftLilacOnly,
+    /// FFT using FloPoCo-generated floating-point cores.
+    FftFloPoCo,
+    /// The standard library itself.
+    Stdlib,
+    /// BLAS level-1 kernels.
+    BlasLevel1,
+    /// The FloPoCo FPU (§2–§3).
+    Fpu,
+    /// The Vivado divider wrappers (§6.1).
+    Divider,
+}
+
+impl Design {
+    /// All bundled designs. The first six are the rows of Figure 8.
+    pub fn all() -> Vec<Design> {
+        vec![
+            Design::Risc3,
+            Design::Gbp,
+            Design::FftLilacOnly,
+            Design::FftFloPoCo,
+            Design::Stdlib,
+            Design::BlasLevel1,
+            Design::Fpu,
+            Design::Divider,
+        ]
+    }
+
+    /// The display name used in Figure 8.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Design::Risc3 => "RISC 3-stage Base",
+            Design::Gbp => "Gaussian Blur Pyramid (§7)",
+            Design::FftLilacOnly => "FFT (Lilac only)",
+            Design::FftFloPoCo => "FFT (using FloPoCo)",
+            Design::Stdlib => "Lilac's standard library",
+            Design::BlasLevel1 => "BLAS Level 1 Kernels",
+            Design::Fpu => "FloPoCo FPU",
+            Design::Divider => "Vivado divider wrappers",
+        }
+    }
+
+    /// The design-specific source files (excluding the standard library),
+    /// in `(name, text)` form.
+    pub fn sources(&self) -> Vec<(&'static str, &'static str)> {
+        match self {
+            Design::Risc3 => vec![("risc.lilac", RISC_SRC)],
+            Design::Gbp => vec![("gbp.lilac", GBP_SRC)],
+            Design::FftLilacOnly => vec![("fft.lilac", FFT_SRC)],
+            Design::FftFloPoCo => {
+                vec![
+                    ("fpu.lilac", FPU_SRC),
+                    ("fft.lilac", FFT_SRC),
+                    ("fft_flopoco.lilac", FFT_FLOPOCO_SRC),
+                ]
+            }
+            Design::Stdlib => vec![],
+            Design::BlasLevel1 => vec![("blas.lilac", BLAS_SRC)],
+            Design::Fpu => vec![("fpu.lilac", FPU_SRC)],
+            Design::Divider => vec![("divider.lilac", DIVIDER_SRC)],
+        }
+    }
+
+    /// Number of non-empty, non-comment source lines, including the standard
+    /// library the design builds on (Figure 8's "Lines" column counts the
+    /// whole compiled program).
+    pub fn line_count(&self) -> usize {
+        let mut total = count_lines(STDLIB_SRC);
+        for (_, src) in self.sources() {
+            total += count_lines(src);
+        }
+        total
+    }
+
+    /// The full program: standard library plus the design's own modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors (none are expected for the bundled sources).
+    pub fn program(&self) -> Result<Program> {
+        Ok(self.program_with_map()?.0)
+    }
+
+    /// The full program together with the source map for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors (none are expected for the bundled sources).
+    pub fn program_with_map(&self) -> Result<(Program, SourceMap)> {
+        let mut sources: Vec<(&str, &str)> = Vec::new();
+        // The FFT's FloPoCo variant reuses the FPU's generator declarations,
+        // so deduplicate shared files.
+        sources.push(("stdlib.lilac", STDLIB_SRC));
+        for (name, src) in self.sources() {
+            if !sources.iter().any(|(n, _)| *n == name) {
+                sources.push((name, src));
+            }
+        }
+        let mut map = SourceMap::new();
+        let mut program = Program::new();
+        for (name, src) in sources {
+            let file = map.add_file(name, src);
+            let parsed = lilac_ast::parse_program_in(file, src)?;
+            program.extend_with(parsed);
+        }
+        Ok((program, map))
+    }
+
+    /// The paper's reported line count for this design (Figure 8), if it is
+    /// one of the six designs the figure lists.
+    pub fn paper_lines(&self) -> Option<usize> {
+        match self {
+            Design::Risc3 => Some(480),
+            Design::Gbp => Some(595),
+            Design::FftLilacOnly => Some(1207),
+            Design::FftFloPoCo => Some(1221),
+            Design::Stdlib => Some(1310),
+            Design::BlasLevel1 => Some(1346),
+            _ => None,
+        }
+    }
+
+    /// The paper's reported type-check time in milliseconds (Figure 8).
+    pub fn paper_time_ms(&self) -> Option<u64> {
+        match self {
+            Design::Risc3 => Some(160),
+            Design::Gbp => Some(205),
+            Design::FftLilacOnly => Some(403),
+            Design::FftFloPoCo => Some(442),
+            Design::Stdlib => Some(900),
+            Design::BlasLevel1 => Some(1295),
+            _ => None,
+        }
+    }
+}
+
+/// Parses just the standard library.
+///
+/// # Errors
+///
+/// Returns parse errors (none are expected).
+pub fn stdlib() -> Result<Program> {
+    let (p, _) = parse_program("stdlib.lilac", STDLIB_SRC)?;
+    Ok(p)
+}
+
+fn count_lines(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lilac_core::check_program;
+
+    #[test]
+    fn all_designs_parse() {
+        for design in Design::all() {
+            let program = design.program().unwrap_or_else(|e| {
+                panic!("{} failed to parse: {e}", design.name());
+            });
+            assert!(program.module_count() > 5, "{}", design.name());
+            assert!(design.line_count() > 40, "{}", design.name());
+        }
+    }
+
+    #[test]
+    fn all_designs_type_check() {
+        for design in Design::all() {
+            let (program, map) = design.program_with_map().unwrap();
+            match check_program(&program) {
+                Ok(report) => assert!(report.is_ok(), "{}", design.name()),
+                Err(e) => panic!("{} failed to check:\n{}", design.name(), e.render(&map)),
+            }
+        }
+    }
+
+    #[test]
+    fn design_metadata_is_consistent() {
+        assert_eq!(Design::all().len(), 8);
+        let figure8: Vec<_> =
+            Design::all().into_iter().filter(|d| d.paper_lines().is_some()).collect();
+        assert_eq!(figure8.len(), 6);
+        for d in figure8 {
+            assert!(d.paper_time_ms().is_some());
+        }
+        assert!(Design::Stdlib.sources().is_empty());
+        assert!(Design::FftFloPoCo.line_count() > Design::FftLilacOnly.line_count());
+    }
+
+    #[test]
+    fn stdlib_helper_parses() {
+        let lib = stdlib().unwrap();
+        assert!(lib.module_named("Shift").is_some());
+        assert!(lib.module_named("Max").is_some());
+        assert!(lib.module_named("Reg").is_some());
+    }
+}

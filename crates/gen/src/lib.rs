@@ -1,0 +1,39 @@
+//! Generator models: synthetic stand-ins for the external hardware
+//! generators the paper integrates (§2, §6).
+//!
+//! The real Lilac compiler shells out to FloPoCo, Vivado's IP core
+//! generators, Aetherling, XLS, Spiral, and PipelineC during elaboration and
+//! reads back the timing behaviour of the modules they produce. Those tools
+//! (and the FPGAs they target) are not available here, so this crate
+//! substitutes *generator models*: for the same inputs — bitwidths,
+//! performance goals, microarchitecture knobs — each model chooses latencies,
+//! initiation intervals, chunk sizes and hold times using rules distilled
+//! from the paper (e.g. the Radix-2 divider's latency formula from Figure 9b,
+//! or FloPoCo's deeper pipelines at higher frequency targets), and emits a
+//! latency-sensitive [`Netlist`](lilac_ir::Netlist) implementing the module.
+//!
+//! What matters for the reproduction is preserved: output parameters are
+//! unknowable until the generator runs, they change when generator inputs
+//! change, and the parent design must adapt — which is exactly the code path
+//! latency-abstract interfaces exercise.
+//!
+//! # Example
+//!
+//! ```
+//! use lilac_gen::{GenGoals, GenRequest, GeneratorRegistry};
+//!
+//! let registry = GeneratorRegistry::with_builtin_tools();
+//! let request = GenRequest::new("flopoco", "FPAdd")
+//!     .with_param("W", 32)
+//!     .with_goals(GenGoals { target_mhz: 280, ..GenGoals::default() });
+//! let result = registry.generate(&request)?;
+//! assert!(result.out_params["L"] >= 1);
+//! # Ok::<(), lilac_gen::GenError>(())
+//! ```
+
+pub mod model;
+pub mod registry;
+pub mod tools;
+
+pub use model::{FpgaFamily, GenError, GenGoals, GenRequest, GenResult, Generator};
+pub use registry::GeneratorRegistry;

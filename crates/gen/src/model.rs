@@ -1,0 +1,240 @@
+//! Core types shared by all generator models.
+
+use lilac_ir::Netlist;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// FPGA family a generator targets. Changing the family changes the timing
+/// behaviour of generated modules (the performance-portability problem §2.1
+/// describes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord)]
+pub enum FpgaFamily {
+    /// A mid-range 7-series-like device (default).
+    #[default]
+    Series7,
+    /// A faster UltraScale-like device: shallower pipelines reach the same
+    /// frequency.
+    UltraScale,
+    /// A small low-cost device: deeper pipelines needed.
+    LowCost,
+}
+
+impl FpgaFamily {
+    /// Relative speed grade used by the latency models (1.0 = Series7).
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            FpgaFamily::Series7 => 1.0,
+            FpgaFamily::UltraScale => 1.4,
+            FpgaFamily::LowCost => 0.7,
+        }
+    }
+}
+
+/// Performance goals passed to a generator.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct GenGoals {
+    /// Target clock frequency in MHz.
+    pub target_mhz: u32,
+    /// Target FPGA family.
+    pub family: FpgaFamily,
+}
+
+impl Default for GenGoals {
+    fn default() -> Self {
+        GenGoals { target_mhz: 100, family: FpgaFamily::Series7 }
+    }
+}
+
+/// A request to generate one module.
+#[derive(Clone, Debug)]
+pub struct GenRequest {
+    /// Tool name (`"flopoco"`, `"vivado"`, `"aetherling"`, `"xls"`,
+    /// `"spiral"`, `"pipelinec"`).
+    pub tool: String,
+    /// Component name within the tool (e.g. `"FPAdd"`).
+    pub component: String,
+    /// Values of the component's Lilac input parameters.
+    pub params: BTreeMap<String, u64>,
+    /// Tool-specific configuration knobs that are *not* Lilac parameters
+    /// (e.g. the number of multipliers given to Aetherling).
+    pub knobs: BTreeMap<String, u64>,
+    /// Performance goals.
+    pub goals: GenGoals,
+}
+
+impl GenRequest {
+    /// Creates a request with no parameters and default goals.
+    pub fn new(tool: impl Into<String>, component: impl Into<String>) -> GenRequest {
+        GenRequest {
+            tool: tool.into(),
+            component: component.into(),
+            params: BTreeMap::new(),
+            knobs: BTreeMap::new(),
+            goals: GenGoals::default(),
+        }
+    }
+
+    /// Adds a Lilac input parameter value.
+    pub fn with_param(mut self, name: &str, value: u64) -> GenRequest {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+
+    /// Adds a tool-specific knob.
+    pub fn with_knob(mut self, name: &str, value: u64) -> GenRequest {
+        self.knobs.insert(name.to_string(), value);
+        self
+    }
+
+    /// Sets the performance goals.
+    pub fn with_goals(mut self, goals: GenGoals) -> GenRequest {
+        self.goals = goals;
+        self
+    }
+
+    /// Reads a parameter, falling back to `default`.
+    pub fn param_or(&self, name: &str, default: u64) -> u64 {
+        self.params.get(name).copied().unwrap_or(default)
+    }
+
+    /// Reads a knob, falling back to `default`.
+    pub fn knob_or(&self, name: &str, default: u64) -> u64 {
+        self.knobs.get(name).copied().unwrap_or(default)
+    }
+
+    /// Reads a required parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::MissingParam`] if absent.
+    pub fn param(&self, name: &str) -> Result<u64, GenError> {
+        self.params.get(name).copied().ok_or_else(|| GenError::MissingParam {
+            tool: self.tool.clone(),
+            component: self.component.clone(),
+            param: name.to_string(),
+        })
+    }
+}
+
+/// The outcome of running a generator: concrete bindings for the module's
+/// output parameters plus a latency-sensitive implementation.
+#[derive(Clone, Debug)]
+pub struct GenResult {
+    /// Concrete values for the module's output parameters (`#L`, `#II`, ...).
+    pub out_params: BTreeMap<String, u64>,
+    /// The generated implementation. Inputs appear in the same order as the
+    /// component's data input ports (bundle ports are flattened to
+    /// `name_0 .. name_{N-1}`), outputs likewise.
+    pub netlist: Netlist,
+}
+
+impl GenResult {
+    /// Convenience accessor for an output parameter.
+    pub fn out_param(&self, name: &str) -> Option<u64> {
+        self.out_params.get(name).copied()
+    }
+}
+
+/// Errors produced by generator models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenError {
+    /// The registry has no generator for the requested tool.
+    UnknownTool(String),
+    /// The tool does not provide the requested component.
+    UnknownComponent {
+        /// Tool name.
+        tool: String,
+        /// Component requested.
+        component: String,
+    },
+    /// A required parameter was not supplied.
+    MissingParam {
+        /// Tool name.
+        tool: String,
+        /// Component name.
+        component: String,
+        /// Missing parameter.
+        param: String,
+    },
+    /// A parameter or knob value is outside the supported range.
+    InvalidConfig {
+        /// Tool name.
+        tool: String,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::UnknownTool(t) => write!(f, "unknown generator tool `{t}`"),
+            GenError::UnknownComponent { tool, component } => {
+                write!(f, "generator `{tool}` does not provide component `{component}`")
+            }
+            GenError::MissingParam { tool, component, param } => {
+                write!(f, "generator `{tool}`/`{component}` requires parameter `{param}`")
+            }
+            GenError::InvalidConfig { tool, message } => {
+                write!(f, "invalid configuration for generator `{tool}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// A generator model.
+pub trait Generator: Send + Sync {
+    /// Tool name used in `gen "<tool>"` declarations.
+    fn tool_name(&self) -> &'static str;
+
+    /// Components this tool can generate.
+    fn components(&self) -> Vec<&'static str>;
+
+    /// Lilac features this generator's interfaces require (Table 3 row).
+    fn features(&self) -> Vec<lilac_core::GeneratorFeature>;
+
+    /// Generates a module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GenError`] for unknown components or invalid
+    /// configurations.
+    fn generate(&self, request: &GenRequest) -> Result<GenResult, GenError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder() {
+        let r = GenRequest::new("flopoco", "FPAdd")
+            .with_param("W", 32)
+            .with_knob("dsp", 1)
+            .with_goals(GenGoals { target_mhz: 250, family: FpgaFamily::UltraScale });
+        assert_eq!(r.param("W").unwrap(), 32);
+        assert_eq!(r.param_or("X", 7), 7);
+        assert_eq!(r.knob_or("dsp", 0), 1);
+        assert!(matches!(r.param("missing"), Err(GenError::MissingParam { .. })));
+        assert_eq!(r.goals.target_mhz, 250);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = GenError::UnknownTool("foo".into());
+        assert!(e.to_string().contains("foo"));
+        let e = GenError::UnknownComponent { tool: "flopoco".into(), component: "X".into() };
+        assert!(e.to_string().contains("flopoco"));
+        let e = GenError::InvalidConfig { tool: "xls".into(), message: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn family_speed_factors_ordered() {
+        assert!(FpgaFamily::UltraScale.speed_factor() > FpgaFamily::Series7.speed_factor());
+        assert!(FpgaFamily::LowCost.speed_factor() < FpgaFamily::Series7.speed_factor());
+        assert_eq!(FpgaFamily::default(), FpgaFamily::Series7);
+    }
+}

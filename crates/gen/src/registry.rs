@@ -1,0 +1,163 @@
+//! The generator registry used by the elaborator.
+//!
+//! §5 of the paper: "Each generator provides a configuration file that
+//! defines the modules it produces and the mechanism to extract bindings for
+//! output parameters". Here that configuration is a [`GeneratorRegistry`]
+//! mapping tool names to [`Generator`] implementations, plus default knobs
+//! and goals the elaborator passes along with every request.
+
+use crate::model::{GenError, GenGoals, GenRequest, GenResult, Generator};
+use crate::tools::{Aetherling, FloPoCo, PipelineC, SpiralFft, VivadoIp, Xls};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A collection of generator models addressable by tool name.
+#[derive(Clone)]
+pub struct GeneratorRegistry {
+    tools: BTreeMap<String, Arc<dyn Generator>>,
+    /// Goals applied to every request that does not override them.
+    pub default_goals: GenGoals,
+    /// Knobs applied to every request, keyed by tool name.
+    pub default_knobs: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl std::fmt::Debug for GeneratorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GeneratorRegistry")
+            .field("tools", &self.tools.keys().collect::<Vec<_>>())
+            .field("default_goals", &self.default_goals)
+            .field("default_knobs", &self.default_knobs)
+            .finish()
+    }
+}
+
+impl GeneratorRegistry {
+    /// An empty registry.
+    pub fn new() -> GeneratorRegistry {
+        GeneratorRegistry {
+            tools: BTreeMap::new(),
+            default_goals: GenGoals::default(),
+            default_knobs: BTreeMap::new(),
+        }
+    }
+
+    /// A registry pre-populated with every built-in tool model.
+    pub fn with_builtin_tools() -> GeneratorRegistry {
+        let mut r = GeneratorRegistry::new();
+        r.register(Arc::new(FloPoCo));
+        r.register(Arc::new(VivadoIp));
+        r.register(Arc::new(Aetherling));
+        r.register(Arc::new(Xls));
+        r.register(Arc::new(SpiralFft));
+        r.register(Arc::new(PipelineC));
+        r
+    }
+
+    /// Registers (or replaces) a tool.
+    pub fn register(&mut self, tool: Arc<dyn Generator>) {
+        self.tools.insert(tool.tool_name().to_string(), tool);
+    }
+
+    /// Looks up a tool by name.
+    pub fn tool(&self, name: &str) -> Option<&Arc<dyn Generator>> {
+        self.tools.get(name)
+    }
+
+    /// Names of all registered tools.
+    pub fn tool_names(&self) -> Vec<&str> {
+        self.tools.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Sets the default performance goals used when a request carries the
+    /// stock defaults.
+    pub fn set_default_goals(&mut self, goals: GenGoals) {
+        self.default_goals = goals;
+    }
+
+    /// Sets a default knob value for a tool.
+    pub fn set_default_knob(&mut self, tool: &str, knob: &str, value: u64) {
+        self.default_knobs
+            .entry(tool.to_string())
+            .or_default()
+            .insert(knob.to_string(), value);
+    }
+
+    /// Generates a module, filling in default goals and knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::UnknownTool`] for unregistered tools, or whatever
+    /// error the tool model produces.
+    pub fn generate(&self, request: &GenRequest) -> Result<GenResult, GenError> {
+        let tool = self
+            .tools
+            .get(&request.tool)
+            .ok_or_else(|| GenError::UnknownTool(request.tool.clone()))?;
+        let mut req = request.clone();
+        if req.goals == GenGoals::default() {
+            req.goals = self.default_goals;
+        }
+        if let Some(knobs) = self.default_knobs.get(&request.tool) {
+            for (k, v) in knobs {
+                req.knobs.entry(k.clone()).or_insert(*v);
+            }
+        }
+        tool.generate(&req)
+    }
+}
+
+impl Default for GeneratorRegistry {
+    fn default() -> Self {
+        GeneratorRegistry::with_builtin_tools()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_all_tools() {
+        let r = GeneratorRegistry::with_builtin_tools();
+        let names = r.tool_names();
+        for t in ["flopoco", "vivado", "aetherling", "xls", "spiral", "pipelinec"] {
+            assert!(names.contains(&t), "missing tool {t}");
+        }
+        assert!(r.tool("flopoco").is_some());
+        assert!(r.tool("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_tool_is_an_error() {
+        let r = GeneratorRegistry::with_builtin_tools();
+        let req = GenRequest::new("ghidra", "X");
+        assert!(matches!(r.generate(&req), Err(GenError::UnknownTool(_))));
+    }
+
+    #[test]
+    fn default_goals_and_knobs_apply() {
+        let mut r = GeneratorRegistry::with_builtin_tools();
+        r.set_default_goals(GenGoals { target_mhz: 280, ..GenGoals::default() });
+        r.set_default_knob("aetherling", "multipliers", 8);
+
+        // FloPoCo request with stock goals inherits the registry default.
+        let req = GenRequest::new("flopoco", "FPAdd").with_param("W", 32);
+        assert_eq!(r.generate(&req).unwrap().out_param("L"), Some(4));
+
+        // Aetherling request without an explicit knob inherits 8 multipliers.
+        let req = GenRequest::new("aetherling", "AethConv").with_param("W", 8);
+        assert_eq!(r.generate(&req).unwrap().out_param("N"), Some(8));
+
+        // An explicit knob still wins.
+        let req =
+            GenRequest::new("aetherling", "AethConv").with_param("W", 8).with_knob("multipliers", 2);
+        assert_eq!(r.generate(&req).unwrap().out_param("N"), Some(2));
+    }
+
+    #[test]
+    fn debug_format_lists_tools() {
+        let r = GeneratorRegistry::with_builtin_tools();
+        let s = format!("{r:?}");
+        assert!(s.contains("flopoco"));
+    }
+}

@@ -1,0 +1,576 @@
+//! The individual generator models.
+//!
+//! | Tool        | Components                                   | Features (Table 3)            |
+//! |-------------|----------------------------------------------|-------------------------------|
+//! | `pipelinec` | `PipeOp`                                      | in-dep                        |
+//! | `flopoco`   | `FPAdd`, `FPMul`                              | in-dep, out-dep               |
+//! | `xls`       | `XlsMac`                                      | in-dep, ii-gt-1               |
+//! | `spiral`    | `SpiralFft`                                   | in-dep, out-dep, ii-gt-1      |
+//! | `aetherling`| `AethConv`                                    | in-dep, out-dep, ii-gt-1, multi |
+//! | `vivado`    | `Mult`, `LutMult`, `Rad2`, `HighRad`, `Fft`   | in-dep / out-dep per core     |
+
+use crate::model::{GenError, GenRequest, GenResult, Generator};
+use lilac_core::GeneratorFeature;
+use lilac_ir::{Netlist, NodeKind, PipeOp};
+use std::collections::BTreeMap;
+
+fn clamp(v: f64, lo: u64, hi: u64) -> u64 {
+    (v.round() as i64).clamp(lo as i64, hi as i64) as u64
+}
+
+fn binary_core(name: &str, op: PipeOp, width: u32, latency: u32, ii: u32) -> Netlist {
+    let mut n = Netlist::new(name);
+    let a = n.add_input("a", width);
+    let b = n.add_input("b", width);
+    let core = n.add_node(
+        NodeKind::PipelinedOp { op, latency, ii },
+        vec![a, b],
+        width,
+        format!("{}_core", op.mnemonic()),
+    );
+    n.add_output("o", core);
+    n
+}
+
+// ---------------------------------------------------------------------------
+// FloPoCo
+// ---------------------------------------------------------------------------
+
+/// Model of the FloPoCo floating-point core generator [De Dinechin & Pasca].
+///
+/// Latency grows with the frequency target and the operand width, and shrinks
+/// on faster FPGA families — changing either regenerates a module with a
+/// different LS interface, which is what forces parents to adapt (§2.1).
+pub struct FloPoCo;
+
+impl FloPoCo {
+    fn latency(&self, req: &GenRequest, is_add: bool) -> Result<u64, GenError> {
+        let w = req.param("W")?;
+        if w == 0 || w > 128 {
+            return Err(GenError::InvalidConfig {
+                tool: "flopoco".into(),
+                message: format!("bitwidth {w} out of range 1..=128"),
+            });
+        }
+        let speed = req.goals.family.speed_factor();
+        let base = if is_add { 70.0 } else { 140.0 };
+        let depth = (w as f64 / 32.0) * (req.goals.target_mhz as f64 / base) / speed;
+        Ok(clamp(depth, 1, 16))
+    }
+}
+
+impl Generator for FloPoCo {
+    fn tool_name(&self) -> &'static str {
+        "flopoco"
+    }
+
+    fn components(&self) -> Vec<&'static str> {
+        vec!["FPAdd", "FPMul"]
+    }
+
+    fn features(&self) -> Vec<GeneratorFeature> {
+        vec![GeneratorFeature::InputDependentTiming, GeneratorFeature::OutputDependentTiming]
+    }
+
+    fn generate(&self, req: &GenRequest) -> Result<GenResult, GenError> {
+        let w = req.param("W")? as u32;
+        let (op, is_add) = match req.component.as_str() {
+            "FPAdd" => (PipeOp::FAdd, true),
+            "FPMul" => (PipeOp::FMul, false),
+            other => {
+                return Err(GenError::UnknownComponent {
+                    tool: "flopoco".into(),
+                    component: other.into(),
+                })
+            }
+        };
+        let latency = self.latency(req, is_add)?;
+        let mut out_params = BTreeMap::new();
+        out_params.insert("L".to_string(), latency);
+        let netlist = binary_core(&format!("flopoco_{}_{w}", req.component), op, w, latency as u32, 1);
+        Ok(GenResult { out_params, netlist })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vivado IP cores (§6.1)
+// ---------------------------------------------------------------------------
+
+/// Model of the Vivado IP core generators: multiplier, dividers, FFT.
+pub struct VivadoIp;
+
+impl VivadoIp {
+    /// High-radix divider latency: the user guide's table has no closed form;
+    /// this model approximates it.
+    fn high_radix_latency(w: u64) -> u64 {
+        // Grows roughly with w/2 plus fixed overhead.
+        w / 2 + 4
+    }
+
+    /// Radix-2 latency formula following Figure 9b.
+    fn radix2_latency(w: u64, ii: u64, fractional: bool) -> u64 {
+        if fractional && ii > 1 {
+            w + 5
+        } else if fractional {
+            w + 4
+        } else if ii > 1 {
+            w + 3
+        } else {
+            w + 2
+        }
+    }
+
+    fn fft_latency(points: u64) -> u64 {
+        // Pipelined streaming FFT: latency ≈ 3·N/2 + setup.
+        3 * points / 2 + 12
+    }
+}
+
+impl Generator for VivadoIp {
+    fn tool_name(&self) -> &'static str {
+        "vivado"
+    }
+
+    fn components(&self) -> Vec<&'static str> {
+        vec!["Mult", "LutMult", "Rad2", "HighRad", "Fft"]
+    }
+
+    fn features(&self) -> Vec<GeneratorFeature> {
+        vec![GeneratorFeature::InputDependentTiming, GeneratorFeature::OutputDependentTiming]
+    }
+
+    fn generate(&self, req: &GenRequest) -> Result<GenResult, GenError> {
+        let mut out_params = BTreeMap::new();
+        let result = match req.component.as_str() {
+            "Mult" => {
+                // The multiplier takes its latency as an *input* parameter.
+                let w = req.param("W")? as u32;
+                let l = req.param("L")?;
+                binary_core(&format!("vivado_mult_{w}_{l}"), PipeOp::IntMul, w, l as u32, 1)
+            }
+            "LutMult" => {
+                let w = req.param("W")? as u32;
+                if w >= 12 {
+                    return Err(GenError::InvalidConfig {
+                        tool: "vivado".into(),
+                        message: format!(
+                            "LutMult divider is only recommended for bitwidths < 12 (got {w})"
+                        ),
+                    });
+                }
+                out_params.insert("L".to_string(), 8);
+                binary_core(&format!("vivado_lutdiv_{w}"), PipeOp::Div, w, 8, 1)
+            }
+            "Rad2" => {
+                let w = req.param("W")?;
+                let ii = req.param_or("II", 1);
+                if ii >= 9 || ii % 2 == 0 && ii != 1 && ii != 2 && ii != 4 && ii != 6 && ii != 8 {
+                    return Err(GenError::InvalidConfig {
+                        tool: "vivado".into(),
+                        message: format!("Radix-2 divider II must be < 9 (got {ii})"),
+                    });
+                }
+                let fractional = req.param_or("Fr", 0) != 0;
+                let l = Self::radix2_latency(w, ii, fractional);
+                out_params.insert("L".to_string(), l);
+                out_params.insert("II".to_string(), ii);
+                binary_core(&format!("vivado_rad2_{w}"), PipeOp::Div, w as u32, l as u32, ii as u32)
+            }
+            "HighRad" => {
+                let w = req.param("W")?;
+                let l = Self::high_radix_latency(w);
+                out_params.insert("L".to_string(), l);
+                binary_core(&format!("vivado_highrad_{w}"), PipeOp::Div, w as u32, l as u32, 1)
+            }
+            "Fft" => {
+                let points = req.param_or("N", req.knob_or("points", 64));
+                let w = req.param_or("W", 16) as u32;
+                let l = Self::fft_latency(points);
+                out_params.insert("L".to_string(), l);
+                let mut n = Netlist::new(format!("vivado_fft_{points}"));
+                let re = n.add_input("re", w);
+                let im = n.add_input("im", w);
+                let core = n.add_node(
+                    NodeKind::PipelinedOp {
+                        op: PipeOp::Fft { points: points as u32 },
+                        latency: l as u32,
+                        ii: 1,
+                    },
+                    vec![re, im],
+                    w,
+                    "fft_core",
+                );
+                n.add_output("o", core);
+                n
+            }
+            other => {
+                return Err(GenError::UnknownComponent {
+                    tool: "vivado".into(),
+                    component: other.into(),
+                })
+            }
+        };
+        Ok(GenResult { out_params, netlist: result })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aetherling (§7)
+// ---------------------------------------------------------------------------
+
+/// Model of Aetherling's type-directed stream-processing generator.
+///
+/// The `multipliers` knob trades area for throughput: with `m` multipliers a
+/// 4×4 convolution accepts `N = m` pixels per transaction (a factor of 16),
+/// holds its inputs for `H` cycles, and produces results after `L` cycles
+/// with initiation interval `II ≥ H` — the `in-dep, out-dep, ii-gt-1, multi`
+/// row of Table 3.
+pub struct Aetherling;
+
+impl Generator for Aetherling {
+    fn tool_name(&self) -> &'static str {
+        "aetherling"
+    }
+
+    fn components(&self) -> Vec<&'static str> {
+        vec!["AethConv"]
+    }
+
+    fn features(&self) -> Vec<GeneratorFeature> {
+        vec![
+            GeneratorFeature::InputDependentTiming,
+            GeneratorFeature::OutputDependentTiming,
+            GeneratorFeature::InitiationIntervalGreaterThanOne,
+            GeneratorFeature::MultiCycleInterval,
+        ]
+    }
+
+    fn generate(&self, req: &GenRequest) -> Result<GenResult, GenError> {
+        if req.component != "AethConv" {
+            return Err(GenError::UnknownComponent {
+                tool: "aetherling".into(),
+                component: req.component.clone(),
+            });
+        }
+        let w = req.param_or("W", 8) as u32;
+        let m = req.knob_or("multipliers", 4);
+        if !(m > 0 && 16 % m == 0) {
+            return Err(GenError::InvalidConfig {
+                tool: "aetherling".into(),
+                message: format!("multipliers must divide 16 (got {m})"),
+            });
+        }
+        // N pixels per transaction; fewer multipliers → the module is only
+        // partially pipelined (II > 1) and must hold its inputs longer.
+        let n = m;
+        let ii = (16 / m).max(1);
+        let h = ii.min(4).max(1);
+        let latency = 2 + 16 / m;
+        let mut out_params = BTreeMap::new();
+        out_params.insert("N".to_string(), n);
+        out_params.insert("H".to_string(), h);
+        out_params.insert("II".to_string(), ii);
+        out_params.insert("L".to_string(), latency);
+
+        let mut netlist = Netlist::new(format!("aeth_conv4x4_m{m}_w{w}"));
+        let mut ins = Vec::new();
+        for i in 0..n {
+            ins.push(netlist.add_input(format!("in_{i}"), w));
+        }
+        let core = netlist.add_node(
+            NodeKind::PipelinedOp {
+                op: PipeOp::Conv { par: m as u32 },
+                latency: latency as u32,
+                ii: ii as u32,
+            },
+            ins.clone(),
+            w,
+            "conv_core",
+        );
+        for i in 0..n {
+            // Each output lane carries the convolution result; lanes other
+            // than 0 are delayed taps of the same core in this functional
+            // model.
+            if i == 0 {
+                netlist.add_output(format!("out_{i}"), core);
+            } else {
+                let lane = netlist.add_node(
+                    NodeKind::Delay(1),
+                    vec![core],
+                    w,
+                    format!("lane_{i}"),
+                );
+                netlist.add_output(format!("out_{i}"), lane);
+            }
+        }
+        Ok(GenResult { out_params, netlist })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XLS, Spiral, PipelineC (§6.2)
+// ---------------------------------------------------------------------------
+
+/// Model of Google XLS: generates partially-pipelined datapaths whose
+/// initiation interval depends on the requested pipeline stages.
+pub struct Xls;
+
+impl Generator for Xls {
+    fn tool_name(&self) -> &'static str {
+        "xls"
+    }
+
+    fn components(&self) -> Vec<&'static str> {
+        vec!["XlsMac"]
+    }
+
+    fn features(&self) -> Vec<GeneratorFeature> {
+        vec![
+            GeneratorFeature::InputDependentTiming,
+            GeneratorFeature::InitiationIntervalGreaterThanOne,
+        ]
+    }
+
+    fn generate(&self, req: &GenRequest) -> Result<GenResult, GenError> {
+        if req.component != "XlsMac" {
+            return Err(GenError::UnknownComponent {
+                tool: "xls".into(),
+                component: req.component.clone(),
+            });
+        }
+        let w = req.param_or("W", 16) as u32;
+        let stages = req.knob_or("stages", 2).max(1);
+        let ii = req.knob_or("ii", 1).max(1);
+        let mut out_params = BTreeMap::new();
+        out_params.insert("L".to_string(), stages);
+        out_params.insert("II".to_string(), ii);
+        let mut n = Netlist::new(format!("xls_mac_{w}_s{stages}"));
+        let a = n.add_input("a", w);
+        let b = n.add_input("b", w);
+        let acc = n.add_input("acc", w);
+        let core = n.add_node(
+            NodeKind::PipelinedOp { op: PipeOp::Mac, latency: stages as u32, ii: ii as u32 },
+            vec![a, b, acc],
+            w,
+            "mac_core",
+        );
+        n.add_output("o", core);
+        Ok(GenResult { out_params, netlist: n })
+    }
+}
+
+/// Model of the Spiral FFT generator.
+pub struct SpiralFft;
+
+impl Generator for SpiralFft {
+    fn tool_name(&self) -> &'static str {
+        "spiral"
+    }
+
+    fn components(&self) -> Vec<&'static str> {
+        vec!["SpiralFft"]
+    }
+
+    fn features(&self) -> Vec<GeneratorFeature> {
+        vec![
+            GeneratorFeature::InputDependentTiming,
+            GeneratorFeature::OutputDependentTiming,
+            GeneratorFeature::InitiationIntervalGreaterThanOne,
+        ]
+    }
+
+    fn generate(&self, req: &GenRequest) -> Result<GenResult, GenError> {
+        if req.component != "SpiralFft" {
+            return Err(GenError::UnknownComponent {
+                tool: "spiral".into(),
+                component: req.component.clone(),
+            });
+        }
+        let points = req.param_or("N", 64);
+        if !points.is_power_of_two() || points < 4 {
+            return Err(GenError::InvalidConfig {
+                tool: "spiral".into(),
+                message: format!("FFT size must be a power of two >= 4 (got {points})"),
+            });
+        }
+        let w = req.param_or("W", 16) as u32;
+        let streaming_width = req.knob_or("streaming_width", 2).max(1);
+        let stages = 64 - (points - 1).leading_zeros() as u64; // log2
+        let latency = stages * 3 + points / streaming_width;
+        let ii = (points / streaming_width).max(1);
+        let mut out_params = BTreeMap::new();
+        out_params.insert("L".to_string(), latency);
+        out_params.insert("II".to_string(), ii);
+        let mut n = Netlist::new(format!("spiral_fft_{points}"));
+        let re = n.add_input("re", w);
+        let im = n.add_input("im", w);
+        let core = n.add_node(
+            NodeKind::PipelinedOp {
+                op: PipeOp::Fft { points: points as u32 },
+                latency: latency as u32,
+                ii: ii as u32,
+            },
+            vec![re, im],
+            w,
+            "fft_core",
+        );
+        n.add_output("o", core);
+        Ok(GenResult { out_params, netlist: n })
+    }
+}
+
+/// Model of PipelineC: the user picks the exact latency as an input
+/// parameter, so the interface needs no output parameters at all.
+pub struct PipelineC;
+
+impl Generator for PipelineC {
+    fn tool_name(&self) -> &'static str {
+        "pipelinec"
+    }
+
+    fn components(&self) -> Vec<&'static str> {
+        vec!["PipeOp"]
+    }
+
+    fn features(&self) -> Vec<GeneratorFeature> {
+        vec![GeneratorFeature::InputDependentTiming]
+    }
+
+    fn generate(&self, req: &GenRequest) -> Result<GenResult, GenError> {
+        if req.component != "PipeOp" {
+            return Err(GenError::UnknownComponent {
+                tool: "pipelinec".into(),
+                component: req.component.clone(),
+            });
+        }
+        let w = req.param_or("W", 32) as u32;
+        let l = req.param("L")?;
+        let netlist = binary_core(&format!("pipelinec_op_{w}_{l}"), PipeOp::FAdd, w, l as u32, 1);
+        Ok(GenResult { out_params: BTreeMap::new(), netlist })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FpgaFamily, GenGoals};
+
+    #[test]
+    fn flopoco_latency_tracks_frequency_and_width() {
+        let slow = GenRequest::new("flopoco", "FPAdd")
+            .with_param("W", 32)
+            .with_goals(GenGoals { target_mhz: 100, family: FpgaFamily::Series7 });
+        let fast = GenRequest::new("flopoco", "FPAdd")
+            .with_param("W", 32)
+            .with_goals(GenGoals { target_mhz: 280, family: FpgaFamily::Series7 });
+        let l_slow = FloPoCo.generate(&slow).unwrap().out_param("L").unwrap();
+        let l_fast = FloPoCo.generate(&fast).unwrap().out_param("L").unwrap();
+        assert!(l_fast > l_slow, "deeper pipeline at higher frequency ({l_slow} vs {l_fast})");
+        assert_eq!(l_slow, 1);
+        assert_eq!(l_fast, 4);
+
+        // Table 1's second configuration: adder latency 4, multiplier 2.
+        let mul = GenRequest::new("flopoco", "FPMul")
+            .with_param("W", 32)
+            .with_goals(GenGoals { target_mhz: 280, family: FpgaFamily::Series7 });
+        assert_eq!(FloPoCo.generate(&mul).unwrap().out_param("L").unwrap(), 2);
+
+        // Wider operands deepen the pipeline too.
+        let wide = GenRequest::new("flopoco", "FPAdd")
+            .with_param("W", 64)
+            .with_goals(GenGoals { target_mhz: 280, family: FpgaFamily::Series7 });
+        assert!(FloPoCo.generate(&wide).unwrap().out_param("L").unwrap() > l_fast);
+
+        // A faster family needs fewer stages.
+        let ultra = GenRequest::new("flopoco", "FPAdd")
+            .with_param("W", 32)
+            .with_goals(GenGoals { target_mhz: 280, family: FpgaFamily::UltraScale });
+        assert!(FloPoCo.generate(&ultra).unwrap().out_param("L").unwrap() <= l_fast);
+    }
+
+    #[test]
+    fn flopoco_rejects_bad_width_and_unknown_component() {
+        let bad = GenRequest::new("flopoco", "FPAdd").with_param("W", 0);
+        assert!(matches!(FloPoCo.generate(&bad), Err(GenError::InvalidConfig { .. })));
+        let unk = GenRequest::new("flopoco", "FSqrt").with_param("W", 32);
+        assert!(matches!(FloPoCo.generate(&unk), Err(GenError::UnknownComponent { .. })));
+        let missing = GenRequest::new("flopoco", "FPAdd");
+        assert!(matches!(FloPoCo.generate(&missing), Err(GenError::MissingParam { .. })));
+    }
+
+    #[test]
+    fn vivado_divider_selection_matches_fig9() {
+        // LutMult: fixed 8-cycle latency, small widths only.
+        let lut = GenRequest::new("vivado", "LutMult").with_param("W", 8);
+        assert_eq!(VivadoIp.generate(&lut).unwrap().out_param("L"), Some(8));
+        let too_wide = GenRequest::new("vivado", "LutMult").with_param("W", 16);
+        assert!(VivadoIp.generate(&too_wide).is_err());
+
+        // Radix-2: latency given by the Figure 9b formula.
+        let rad2 = GenRequest::new("vivado", "Rad2")
+            .with_param("W", 14)
+            .with_param("II", 2)
+            .with_param("Fr", 1);
+        assert_eq!(VivadoIp.generate(&rad2).unwrap().out_param("L"), Some(19));
+        let rad2_int = GenRequest::new("vivado", "Rad2").with_param("W", 14).with_param("II", 1);
+        assert_eq!(VivadoIp.generate(&rad2_int).unwrap().out_param("L"), Some(16));
+
+        // High radix: no closed form exposed, just an output parameter.
+        let hr = GenRequest::new("vivado", "HighRad").with_param("W", 32);
+        assert_eq!(VivadoIp.generate(&hr).unwrap().out_param("L"), Some(20));
+
+        // The explicit-latency multiplier has no output parameters at all.
+        let mult = GenRequest::new("vivado", "Mult").with_param("W", 16).with_param("L", 3);
+        let r = VivadoIp.generate(&mult).unwrap();
+        assert!(r.out_params.is_empty());
+        assert!(r.netlist.validate().is_ok());
+    }
+
+    #[test]
+    fn aetherling_parallelism_tradeoff() {
+        for m in [1u64, 2, 4, 8, 16] {
+            let req = GenRequest::new("aetherling", "AethConv")
+                .with_param("W", 8)
+                .with_knob("multipliers", m);
+            let r = Aetherling.generate(&req).unwrap();
+            assert_eq!(r.out_param("N"), Some(m));
+            let ii = r.out_param("II").unwrap();
+            let h = r.out_param("H").unwrap();
+            assert!(ii >= h, "II must cover the hold time");
+            assert_eq!(ii, (16 / m).max(1));
+            assert!(r.netlist.validate().is_ok());
+            assert_eq!(r.netlist.inputs.len(), m as usize);
+            assert_eq!(r.netlist.outputs.len(), m as usize);
+        }
+        let bad = GenRequest::new("aetherling", "AethConv").with_knob("multipliers", 3);
+        assert!(Aetherling.generate(&bad).is_err());
+    }
+
+    #[test]
+    fn xls_and_spiral_and_pipelinec() {
+        let x = GenRequest::new("xls", "XlsMac").with_param("W", 16).with_knob("ii", 2);
+        let r = Xls.generate(&x).unwrap();
+        assert_eq!(r.out_param("II"), Some(2));
+
+        let s = GenRequest::new("spiral", "SpiralFft").with_param("N", 64).with_param("W", 16);
+        let r = SpiralFft.generate(&s).unwrap();
+        assert!(r.out_param("L").unwrap() > 6);
+        assert!(SpiralFft
+            .generate(&GenRequest::new("spiral", "SpiralFft").with_param("N", 60))
+            .is_err());
+
+        let p = GenRequest::new("pipelinec", "PipeOp").with_param("W", 32).with_param("L", 5);
+        let r = PipelineC.generate(&p).unwrap();
+        assert!(r.out_params.is_empty());
+        assert!(r.netlist.validate().is_ok());
+    }
+
+    #[test]
+    fn table3_feature_rows() {
+        assert_eq!(PipelineC.features().len(), 1);
+        assert_eq!(FloPoCo.features().len(), 2);
+        assert_eq!(Xls.features().len(), 2);
+        assert_eq!(SpiralFft.features().len(), 3);
+        assert_eq!(Aetherling.features().len(), 4);
+    }
+}

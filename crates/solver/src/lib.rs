@@ -1,0 +1,51 @@
+//! Constraint solving for Lilac's parameterized timeline types.
+//!
+//! The paper discharges its proof obligations with Z3. This crate is the
+//! reproduction's substitute: a self-contained decision engine for the
+//! fragment Lilac actually generates —
+//!
+//! * **linear integer arithmetic** over parameter variables (availability
+//!   intervals, delays, and schedules are affine in the parameters),
+//! * **uninterpreted functions** for output parameters (`Max[#A,#B]::#O` is
+//!   encoded as the application `Max_O(A, B)`, §4.2 of the paper) with
+//!   congruence reasoning,
+//! * **interpreted operators** `*`, `/`, `%`, `log2`, `exp2` handled through
+//!   definitional axioms and constant folding, and
+//! * **bounded model finding** to produce the concrete counterexample
+//!   parameter assignments the paper shows to users.
+//!
+//! The main entry point is [`Solver`]: clients `assume` facts (parameter
+//! `where` clauses, path conditions, output-parameter guarantees) and then
+//! ask it to [`Solver::prove`] obligations. Proofs are established by
+//! refutation: the negated goal is conjoined with the facts, normalized to
+//! disjunctive normal form, and every cube is shown infeasible with a
+//! Fourier–Motzkin elimination over the rationals (sound for proving
+//! integer infeasibility). When a cube is feasible, a small bounded search
+//! looks for an integer counterexample to report.
+//!
+//! # Example
+//!
+//! ```
+//! use lilac_solver::{LinExpr, Pred, Solver, Outcome};
+//!
+//! let mut solver = Solver::new();
+//! // Facts: L >= 1 and M == L + 2.
+//! let l = LinExpr::var("L");
+//! let m = LinExpr::var("M");
+//! solver.assume(Pred::ge(l.clone(), LinExpr::constant(1)));
+//! solver.assume(Pred::eq(m.clone(), l.clone() + LinExpr::constant(2)));
+//! // Obligation: M >= 3 — provable.
+//! assert_eq!(solver.prove(&Pred::ge(m.clone(), LinExpr::constant(3))), lilac_solver::Outcome::Proved);
+//! // Obligation: M == L — refutable, with a counterexample model.
+//! assert!(matches!(solver.prove(&Pred::eq(m, l)), lilac_solver::Outcome::Disproved(_)));
+//! ```
+
+pub mod expr;
+pub mod model;
+pub mod pred;
+pub mod solve;
+
+pub use expr::{LinExpr, Term};
+pub use model::Model;
+pub use pred::Pred;
+pub use solve::{Outcome, Solver, SolverConfig, SolverStats};

@@ -1,0 +1,838 @@
+//! The decision engine: proving obligations and finding counterexamples.
+//!
+//! [`Solver`] holds a set of assumed facts and discharges goals by
+//! refutation. The pipeline for a query `facts ⊢ goal` is:
+//!
+//! 1. form `facts ∧ ¬goal`, convert to negation normal form, and expand to a
+//!    (capped) disjunctive normal form;
+//! 2. for each cube, *saturate*: constant-fold interpreted applications,
+//!    propagate equalities (union-find with constant preference), apply the
+//!    `exp2`/`log2` inverse rewrites, and merge congruent uninterpreted
+//!    applications (the output-parameter encoding of §4.2);
+//! 3. eliminate equalities by substitution, then run Fourier–Motzkin
+//!    elimination over the rationals — rational infeasibility implies
+//!    integer infeasibility, so an infeasible cube is discharged soundly;
+//! 4. if a cube survives, search for a small integer model to present as a
+//!    counterexample; if none is found within bounds the overall answer is
+//!    [`Outcome::Unknown`] (the type checker reports "cannot prove" and
+//!    points the user at `assume`).
+
+use crate::expr::{funcs, LinExpr, Term};
+use crate::model::Model;
+use crate::pred::Pred;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of a [`Solver::prove`] query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The goal holds under every parameterization satisfying the facts.
+    Proved,
+    /// The goal is violated by the returned parameter assignment.
+    Disproved(Model),
+    /// The engine could neither prove nor refute the goal within its bounds.
+    Unknown,
+}
+
+impl Outcome {
+    /// True if the outcome is [`Outcome::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Outcome::Proved)
+    }
+}
+
+/// Tunable resource limits for the solver.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Maximum number of DNF cubes to expand before giving up.
+    pub max_cubes: usize,
+    /// Maximum number of variables Fourier–Motzkin elimination will handle.
+    pub max_fm_vars: usize,
+    /// Maximum number of inequalities produced during elimination.
+    pub max_fm_rows: usize,
+    /// Maximum number of atoms considered during counterexample search.
+    pub max_enum_atoms: usize,
+    /// Largest candidate value used during counterexample search.
+    pub enum_domain_max: i64,
+    /// Maximum number of assignments tried during counterexample search.
+    pub max_enum_assignments: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_cubes: 256,
+            max_fm_vars: 24,
+            max_fm_rows: 4096,
+            max_enum_atoms: 6,
+            enum_domain_max: 9,
+            max_enum_assignments: 400_000,
+        }
+    }
+}
+
+/// Counters describing the work a solver instance has performed. Used by the
+/// Figure 8 harness to report type-checking effort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of `prove` queries issued.
+    pub queries: usize,
+    /// Queries answered `Proved`.
+    pub proved: usize,
+    /// Queries answered `Disproved`.
+    pub disproved: usize,
+    /// Queries answered `Unknown`.
+    pub unknown: usize,
+    /// Total cubes examined.
+    pub cubes: usize,
+}
+
+/// A constraint-solving context: a set of facts plus resource limits.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    facts: Vec<Pred>,
+    config: SolverConfig,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver with default limits and no facts.
+    pub fn new() -> Solver {
+        Solver { facts: Vec::new(), config: SolverConfig::default(), stats: SolverStats::default() }
+    }
+
+    /// Creates a solver with custom limits.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver { facts: Vec::new(), config, stats: SolverStats::default() }
+    }
+
+    /// Adds a fact the solver may use in subsequent queries.
+    pub fn assume(&mut self, fact: Pred) {
+        if fact != Pred::True {
+            self.facts.push(fact);
+        }
+    }
+
+    /// The facts assumed so far.
+    pub fn facts(&self) -> &[Pred] {
+        &self.facts
+    }
+
+    /// Query statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Number of facts assumed (used to implement scoped assumption stacks).
+    pub fn mark(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Drops facts assumed after `mark`, restoring an earlier scope.
+    pub fn reset_to(&mut self, mark: usize) {
+        self.facts.truncate(mark);
+    }
+
+    /// Attempts to prove `goal` from the assumed facts.
+    pub fn prove(&mut self, goal: &Pred) -> Outcome {
+        self.stats.queries += 1;
+        let formula = Pred::and(self.facts.iter().cloned().chain([goal.clone().negate()]));
+        let outcome = match self.check_sat(&formula) {
+            SatResult::Unsat => Outcome::Proved,
+            SatResult::Sat(model) => Outcome::Disproved(model),
+            SatResult::Unknown => Outcome::Unknown,
+        };
+        match &outcome {
+            Outcome::Proved => self.stats.proved += 1,
+            Outcome::Disproved(_) => self.stats.disproved += 1,
+            Outcome::Unknown => self.stats.unknown += 1,
+        }
+        outcome
+    }
+
+    /// Checks whether the assumed facts are mutually consistent.
+    ///
+    /// Returns `false` only when the facts are definitely contradictory;
+    /// inconclusive answers are treated as consistent.
+    pub fn facts_consistent(&mut self) -> bool {
+        let formula = Pred::and(self.facts.iter().cloned());
+        !matches!(self.check_sat_internal(&formula, false), SatResult::Unsat)
+    }
+
+    fn check_sat(&mut self, formula: &Pred) -> SatResult {
+        self.check_sat_internal(formula, true)
+    }
+
+    fn check_sat_internal(&mut self, formula: &Pred, want_model: bool) -> SatResult {
+        let Some(cubes) = formula.to_dnf(self.config.max_cubes) else {
+            return SatResult::Unknown;
+        };
+        if cubes.is_empty() {
+            return SatResult::Unsat;
+        }
+        let mut any_unknown = false;
+        for cube in cubes {
+            self.stats.cubes += 1;
+            match self.cube_sat(&cube, want_model) {
+                SatResult::Unsat => continue,
+                SatResult::Sat(m) => return SatResult::Sat(m),
+                SatResult::Unknown => any_unknown = true,
+            }
+        }
+        if any_unknown {
+            SatResult::Unknown
+        } else {
+            SatResult::Unsat
+        }
+    }
+
+    /// Satisfiability of a conjunction of `Le`/`Eq` literals.
+    fn cube_sat(&self, cube: &[Pred], want_model: bool) -> SatResult {
+        // 1. Saturation.
+        let saturated = match saturate(cube) {
+            Some(lits) => lits,
+            None => return SatResult::Unsat,
+        };
+
+        // 2. Split into equalities and inequalities; constant checks.
+        let mut equalities: Vec<LinExpr> = Vec::new();
+        let mut inequalities: Vec<LinExpr> = Vec::new();
+        for lit in &saturated {
+            match lit {
+                Pred::Eq(e) => match e.as_constant() {
+                    Some(0) => {}
+                    Some(_) => return SatResult::Unsat,
+                    None => equalities.push(e.clone()),
+                },
+                Pred::Le(e) => match e.as_constant() {
+                    Some(c) if c > 0 => return SatResult::Unsat,
+                    Some(_) => {}
+                    None => inequalities.push(e.clone()),
+                },
+                _ => unreachable!("cube literals are Le/Eq"),
+            }
+        }
+
+        // 3. Eliminate equalities by substitution where a unit coefficient
+        // exists; the rest become paired inequalities.
+        let mut pending = equalities;
+        let mut guard = 0;
+        while let Some(eq) = pending.pop() {
+            guard += 1;
+            if guard > 256 {
+                return SatResult::Unknown;
+            }
+            match eq.as_constant() {
+                Some(0) => continue,
+                Some(_) => return SatResult::Unsat,
+                None => {}
+            }
+            if let Some((term, rhs)) = solve_for_unit_term(&eq) {
+                pending = pending.iter().map(|e| e.substitute(&term, &rhs)).collect();
+                inequalities = inequalities.iter().map(|e| e.substitute(&term, &rhs)).collect();
+            } else {
+                inequalities.push(eq.clone());
+                inequalities.push(eq.scaled(-1));
+            }
+        }
+
+        // Re-check constants introduced by substitution.
+        let mut rows: Vec<LinExpr> = Vec::new();
+        for e in inequalities {
+            match e.as_constant() {
+                Some(c) if c > 0 => return SatResult::Unsat,
+                Some(_) => {}
+                None => rows.push(e),
+            }
+        }
+
+        // 4. Fourier–Motzkin elimination over the rationals.
+        match fourier_motzkin(&rows, &self.config) {
+            FmResult::Infeasible => return SatResult::Unsat,
+            FmResult::Feasible => {}
+            FmResult::Unknown => return SatResult::Unknown,
+        }
+
+        if !want_model {
+            // Rationally feasible is enough to say "not definitely unsat".
+            return SatResult::Sat(Model::new());
+        }
+
+        // 5. Bounded integer model search on the saturated literals.
+        match find_model(&saturated, &self.config) {
+            Some(model) => SatResult::Sat(model),
+            None => SatResult::Unknown,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum SatResult {
+    Unsat,
+    Sat(Model),
+    Unknown,
+}
+
+// ---------------------------------------------------------------------------
+// Saturation: constant folding, equality propagation, rewrites, congruence.
+// ---------------------------------------------------------------------------
+
+/// Rewrites a cube of literals to a saturated form, or returns `None` if a
+/// contradiction is detected syntactically (e.g. `3 == 0` after folding).
+fn saturate(cube: &[Pred]) -> Option<Vec<Pred>> {
+    let mut lits: Vec<Pred> = cube.iter().map(|p| fold_pred(p)).collect();
+    for _round in 0..8 {
+        // Build a substitution from equalities of the form `t == constant`
+        // or `t == u` (unit coefficients).
+        let mut subst: BTreeMap<Term, LinExpr> = BTreeMap::new();
+        for lit in &lits {
+            if let Pred::Eq(e) = lit {
+                if let Some((term, rhs)) = solve_for_unit_term(e) {
+                    // Prefer rewriting complex terms (applications) into
+                    // simpler ones; avoid self-referential substitutions.
+                    let mut mentions_self = false;
+                    let mut ts = Vec::new();
+                    rhs.collect_terms(&mut ts);
+                    if ts.contains(&term) {
+                        mentions_self = true;
+                    }
+                    if !mentions_self {
+                        subst.entry(term).or_insert(rhs);
+                    }
+                }
+            }
+        }
+        // exp2/log2 inverse rewrites: exp2(log2(x)) -> x, log2(exp2(x)) -> x.
+        let mut all_terms = Vec::new();
+        for lit in &lits {
+            match lit {
+                Pred::Eq(e) | Pred::Le(e) => e.collect_terms(&mut all_terms),
+                _ => {}
+            }
+        }
+        for t in &all_terms {
+            if let Term::App { func, args } = t {
+                if func.as_str() == funcs::EXP2 || func.as_str() == funcs::LOG2 {
+                    if let Some(inner) = args[0].as_single_term() {
+                        if let Term::App { func: inner_f, args: inner_args } = inner {
+                            let is_inverse = (func.as_str() == funcs::EXP2
+                                && inner_f.as_str() == funcs::LOG2)
+                                || (func.as_str() == funcs::LOG2
+                                    && inner_f.as_str() == funcs::EXP2);
+                            if is_inverse {
+                                subst.entry(t.clone()).or_insert(inner_args[0].clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Congruence closure over uninterpreted applications: after applying
+        // the substitution, merge applications with identical arguments.
+        let apply = |e: &LinExpr| -> LinExpr {
+            let mut out = e.clone();
+            for (t, r) in &subst {
+                out = out.substitute(t, r);
+            }
+            fold_expr(&out)
+        };
+        let new_lits: Vec<Pred> = lits
+            .iter()
+            .map(|lit| match lit {
+                Pred::Eq(e) => Pred::Eq(apply(e)),
+                Pred::Le(e) => Pred::Le(apply(e)),
+                other => other.clone(),
+            })
+            .collect();
+
+        // Congruence: find pairs of syntactically equal applications — they
+        // are already merged by structural equality — nothing further needed
+        // here because substitution canonicalized the arguments.
+
+        let changed = new_lits != lits;
+        lits = new_lits;
+        // Detect syntactic contradictions early.
+        for lit in &lits {
+            if let Pred::Eq(e) = lit {
+                if let Some(c) = e.as_constant() {
+                    if c != 0 {
+                        return None;
+                    }
+                }
+            }
+            if let Pred::Le(e) = lit {
+                if let Some(c) = e.as_constant() {
+                    if c > 0 {
+                        return None;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(lits)
+}
+
+/// Constant-folds interpreted applications inside an expression.
+fn fold_expr(e: &LinExpr) -> LinExpr {
+    let mut out = LinExpr::constant(e.constant_part());
+    for (term, coeff) in e.terms() {
+        let folded = fold_term(term);
+        out = out + folded.scaled(coeff);
+    }
+    out
+}
+
+fn fold_term(t: &Term) -> LinExpr {
+    match t {
+        Term::Var(_) => LinExpr::from_term(t.clone(), 1),
+        Term::App { func, args } => {
+            let folded_args: Vec<LinExpr> = args.iter().map(fold_expr).collect();
+            match func.as_str() {
+                funcs::MUL if folded_args.len() == 2 => {
+                    folded_args[0].multiply(&folded_args[1])
+                }
+                funcs::DIV if folded_args.len() == 2 => folded_args[0].divide(&folded_args[1]),
+                funcs::MOD if folded_args.len() == 2 => folded_args[0].modulo(&folded_args[1]),
+                funcs::LOG2 if folded_args.len() == 1 => folded_args[0].log2(),
+                funcs::EXP2 if folded_args.len() == 1 => folded_args[0].exp2(),
+                _ => LinExpr::from_term(Term::App { func: *func, args: folded_args }, 1),
+            }
+        }
+    }
+}
+
+fn fold_pred(p: &Pred) -> Pred {
+    match p {
+        Pred::Eq(e) => Pred::Eq(fold_expr(e)),
+        Pred::Le(e) => Pred::Le(fold_expr(e)),
+        other => other.clone(),
+    }
+}
+
+/// If `e == 0` can be solved for a term with a ±1 coefficient, returns that
+/// term and the expression it equals.
+fn solve_for_unit_term(e: &LinExpr) -> Option<(Term, LinExpr)> {
+    // Prefer solving for application terms (so that output parameters get
+    // eliminated in favour of ordinary variables), then variables.
+    let candidates: Vec<(Term, i64)> =
+        e.terms().map(|(t, c)| (t.clone(), c)).filter(|(_, c)| *c == 1 || *c == -1).collect();
+    let pick = candidates
+        .iter()
+        .find(|(t, _)| matches!(t, Term::App { .. }))
+        .or_else(|| candidates.first())?;
+    let (term, coeff) = pick.clone();
+    // e = coeff*term + rest == 0  =>  term = -rest / coeff.
+    let mut rest = e.clone();
+    rest.add_term(term.clone(), -coeff);
+    let rhs = if coeff == 1 { rest.scaled(-1) } else { rest };
+    Some((term, rhs))
+}
+
+// ---------------------------------------------------------------------------
+// Fourier–Motzkin elimination (rational relaxation).
+// ---------------------------------------------------------------------------
+
+enum FmResult {
+    Infeasible,
+    Feasible,
+    Unknown,
+}
+
+/// Decides rational feasibility of `rows` (each row is `expr <= 0`).
+fn fourier_motzkin(rows: &[LinExpr], config: &SolverConfig) -> FmResult {
+    // Collect the top-level terms used as variables.
+    let mut vars: BTreeSet<Term> = BTreeSet::new();
+    for r in rows {
+        for (t, _) in r.terms() {
+            vars.insert(t.clone());
+        }
+    }
+    if vars.len() > config.max_fm_vars {
+        return FmResult::Unknown;
+    }
+    let mut rows: Vec<LinExpr> = rows.to_vec();
+    for var in vars {
+        let mut lowers: Vec<LinExpr> = Vec::new(); // coeff < 0: var >= expr
+        let mut uppers: Vec<LinExpr> = Vec::new(); // coeff > 0: var <= expr
+        let mut rest: Vec<LinExpr> = Vec::new();
+        for r in rows.into_iter() {
+            let coeff = r.terms().find(|(t, _)| *t == &var).map(|(_, c)| c).unwrap_or(0);
+            if coeff == 0 {
+                rest.push(r);
+            } else if coeff > 0 {
+                uppers.push(r);
+            } else {
+                lowers.push(r);
+            }
+        }
+        // Combine every lower bound with every upper bound.
+        for lo in &lowers {
+            let lo_c = lo.terms().find(|(t, _)| *t == &var).map(|(_, c)| c).unwrap();
+            for up in &uppers {
+                let up_c = up.terms().find(|(t, _)| *t == &var).map(|(_, c)| c).unwrap();
+                // lo: lo_c*var + lo_rest <= 0 with lo_c < 0
+                // up: up_c*var + up_rest <= 0 with up_c > 0
+                // Eliminate var: up_c*(-lo) >= ... combine as
+                //   up_c * lo + (-lo_c) * up <= 0
+                let combined = lo.scaled(up_c) + up.scaled(-lo_c);
+                match combined.as_constant() {
+                    Some(c) if c > 0 => return FmResult::Infeasible,
+                    Some(_) => {}
+                    None => rest.push(combined),
+                }
+                if rest.len() > config.max_fm_rows {
+                    return FmResult::Unknown;
+                }
+            }
+        }
+        rows = rest;
+    }
+    // All variables eliminated; remaining rows are constants.
+    for r in &rows {
+        if let Some(c) = r.as_constant() {
+            if c > 0 {
+                return FmResult::Infeasible;
+            }
+        }
+    }
+    FmResult::Feasible
+}
+
+// ---------------------------------------------------------------------------
+// Bounded integer model search.
+// ---------------------------------------------------------------------------
+
+/// Searches for a small non-negative integer assignment satisfying every
+/// literal in `lits`.
+fn find_model(lits: &[Pred], config: &SolverConfig) -> Option<Model> {
+    // Atoms to assign: every top-level term. Interpreted applications are
+    // computed from their arguments, so they are excluded when all their
+    // argument terms are themselves assigned.
+    let mut atoms: BTreeSet<Term> = BTreeSet::new();
+    for lit in lits {
+        let e = match lit {
+            Pred::Eq(e) | Pred::Le(e) => e,
+            _ => continue,
+        };
+        let mut ts = Vec::new();
+        e.collect_terms(&mut ts);
+        for t in ts {
+            match &t {
+                Term::Var(_) => {
+                    atoms.insert(t);
+                }
+                Term::App { func, .. } => {
+                    let interpreted = matches!(
+                        func.as_str(),
+                        funcs::MUL | funcs::DIV | funcs::MOD | funcs::LOG2 | funcs::EXP2
+                    );
+                    if !interpreted {
+                        atoms.insert(t);
+                    }
+                }
+            }
+        }
+    }
+    // Keep only "outermost" uninterpreted applications plus all variables —
+    // nested terms inside an application's arguments are still assigned if
+    // they are variables, which is what `collect_terms` produced above.
+    let atoms: Vec<Term> = atoms.into_iter().collect();
+    if atoms.len() > config.max_enum_atoms {
+        return None;
+    }
+
+    // Candidate domain: small naturals plus constants appearing in literals.
+    let mut domain: BTreeSet<i64> = (0..=config.enum_domain_max).collect();
+    for lit in lits {
+        let e = match lit {
+            Pred::Eq(e) | Pred::Le(e) => e,
+            _ => continue,
+        };
+        let c = e.constant_part();
+        for v in [c.abs(), c.abs() + 1, (c.abs()).saturating_sub(1)] {
+            if v >= 0 && v <= 4096 {
+                domain.insert(v);
+            }
+        }
+    }
+    let domain: Vec<i64> = domain.into_iter().collect();
+
+    let total: f64 = (domain.len() as f64).powi(atoms.len() as i32);
+    if total > config.max_enum_assignments as f64 {
+        // Shrink: fall back to the small-naturals domain only.
+        let small: Vec<i64> = (0..=config.enum_domain_max).collect();
+        return enumerate(&atoms, &small, lits, config.max_enum_assignments);
+    }
+    enumerate(&atoms, &domain, lits, config.max_enum_assignments)
+}
+
+fn enumerate(
+    atoms: &[Term],
+    domain: &[i64],
+    lits: &[Pred],
+    max_assignments: usize,
+) -> Option<Model> {
+    if atoms.is_empty() {
+        let m = Model::new();
+        let ok = lits.iter().all(|l| l.eval(&m).unwrap_or(false));
+        return if ok { Some(m) } else { None };
+    }
+    let mut indices = vec![0usize; atoms.len()];
+    let mut tried = 0usize;
+    loop {
+        tried += 1;
+        if tried > max_assignments {
+            return None;
+        }
+        let mut m = Model::new();
+        for (atom, &di) in atoms.iter().zip(indices.iter()) {
+            m.assign(atom.clone(), domain[di]);
+        }
+        let consistent = functionally_consistent(&m, atoms);
+        if consistent && lits.iter().all(|l| l.eval(&m).unwrap_or(false)) {
+            return Some(m);
+        }
+        // Advance odometer.
+        let mut k = 0;
+        loop {
+            indices[k] += 1;
+            if indices[k] < domain.len() {
+                break;
+            }
+            indices[k] = 0;
+            k += 1;
+            if k == atoms.len() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Rejects assignments where two applications of the same uninterpreted
+/// function receive equal argument values but different results.
+fn functionally_consistent(model: &Model, atoms: &[Term]) -> bool {
+    for (i, a) in atoms.iter().enumerate() {
+        let Term::App { func: fa, args: argsa } = a else { continue };
+        for b in atoms.iter().skip(i + 1) {
+            let Term::App { func: fb, args: argsb } = b else { continue };
+            if fa != fb || argsa.len() != argsb.len() {
+                continue;
+            }
+            let eval_a: Option<Vec<i64>> = argsa.iter().map(|e| model.eval(e)).collect();
+            let eval_b: Option<Vec<i64>> = argsb.iter().map(|e| model.eval(e)).collect();
+            if let (Some(va), Some(vb)) = (eval_a, eval_b) {
+                if va == vb && model.value(a) != model.value(b) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> LinExpr {
+        LinExpr::var(name)
+    }
+
+    #[test]
+    fn proves_simple_arithmetic_facts() {
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("L"), LinExpr::constant(1)));
+        assert_eq!(s.prove(&Pred::ge(var("L"), LinExpr::constant(0))), Outcome::Proved);
+        assert_eq!(
+            s.prove(&Pred::ge(var("L") + LinExpr::constant(2), LinExpr::constant(3))),
+            Outcome::Proved
+        );
+        assert!(matches!(
+            s.prove(&Pred::ge(var("L"), LinExpr::constant(2))),
+            Outcome::Disproved(_)
+        ));
+        assert_eq!(s.stats().queries, 3);
+    }
+
+    #[test]
+    fn equalities_propagate() {
+        let mut s = Solver::new();
+        s.assume(Pred::eq(var("M"), var("L") + LinExpr::constant(2)));
+        s.assume(Pred::ge(var("L"), LinExpr::constant(1)));
+        assert_eq!(s.prove(&Pred::ge(var("M"), LinExpr::constant(3))), Outcome::Proved);
+        assert_eq!(s.prove(&Pred::gt(var("M"), var("L"))), Outcome::Proved);
+    }
+
+    #[test]
+    fn interval_containment_style_queries() {
+        // Availability [G+i, G+i+1) read at G+i with 0 <= i < N.
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("i"), LinExpr::constant(0)));
+        s.assume(Pred::lt(var("i"), var("N")));
+        s.assume(Pred::ge(var("N"), LinExpr::constant(1)));
+        let read = var("G") + var("i");
+        let avail_start = var("G") + var("i");
+        let avail_end = var("G") + var("i") + LinExpr::constant(1);
+        assert_eq!(s.prove(&Pred::ge(read.clone(), avail_start)), Outcome::Proved);
+        assert_eq!(s.prove(&Pred::lt(read, avail_end)), Outcome::Proved);
+    }
+
+    #[test]
+    fn fpu_imbalance_is_refuted_with_counterexample() {
+        // The §3.2 walkthrough: with only #AddL >= 1 and #MulL >= 1 known,
+        // the checker cannot show the adder and multiplier latencies agree.
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("Add::L"), LinExpr::constant(1)));
+        s.assume(Pred::ge(var("Mul::L"), LinExpr::constant(1)));
+        match s.prove(&Pred::eq(var("Add::L"), var("Mul::L"))) {
+            Outcome::Disproved(m) => {
+                let a = m.value(&Term::var("Add::L")).unwrap();
+                let b = m.value(&Term::var("Mul::L")).unwrap();
+                assert_ne!(a, b);
+                assert!(a >= 1 && b >= 1);
+            }
+            other => panic!("expected Disproved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_parameter_congruence() {
+        // FAdd[16,8]::#L == FAdd[16,8]::#L is provable because both sides are
+        // the same application.
+        let mut s = Solver::new();
+        let app = LinExpr::from_term(
+            Term::app("FAdd::#L", vec![LinExpr::constant(16), LinExpr::constant(8)]),
+            1,
+        );
+        assert_eq!(s.prove(&Pred::eq(app.clone(), app.clone())), Outcome::Proved);
+
+        // Max[A,B]::#O == Max[X,Y]::#O holds when A==X and B==Y (congruence
+        // through equality substitution).
+        let mut s = Solver::new();
+        s.assume(Pred::eq(var("A"), var("X")));
+        s.assume(Pred::eq(var("B"), var("Y")));
+        let m1 = LinExpr::from_term(Term::app("Max::#O", vec![var("A"), var("B")]), 1);
+        let m2 = LinExpr::from_term(Term::app("Max::#O", vec![var("X"), var("Y")]), 1);
+        assert_eq!(s.prove(&Pred::eq(m1.clone(), m2.clone())), Outcome::Proved);
+
+        // Without those facts the equality is not provable.
+        let mut s = Solver::new();
+        let out = s.prove(&Pred::eq(m1, m2));
+        assert_ne!(out, Outcome::Proved);
+    }
+
+    #[test]
+    fn max_component_semantics_from_where_clauses() {
+        // Max's output parameter is only known through its where clauses:
+        // O >= A, O >= B, (O == A || O == B).
+        let mut s = Solver::new();
+        let o = LinExpr::from_term(Term::app("Max::#O", vec![var("A"), var("B")]), 1);
+        s.assume(Pred::ge(o.clone(), var("A")));
+        s.assume(Pred::ge(o.clone(), var("B")));
+        s.assume(Pred::or([Pred::eq(o.clone(), var("A")), Pred::eq(o.clone(), var("B"))]));
+        // The pipeline-balancing obligations: O - A >= 0 and O - B >= 0.
+        assert_eq!(s.prove(&Pred::ge(o.clone() - var("A"), LinExpr::zero())), Outcome::Proved);
+        assert_eq!(s.prove(&Pred::ge(o.clone() - var("B"), LinExpr::zero())), Outcome::Proved);
+        // But O == A is not provable in general.
+        assert_ne!(s.prove(&Pred::eq(o, var("A"))), Outcome::Proved);
+    }
+
+    #[test]
+    fn exp2_log2_rewrite() {
+        let mut s = Solver::new();
+        let n = var("N");
+        let roundtrip = n.log2().exp2();
+        // exp2(log2(N)) == N via the inverse rewrite.
+        assert_eq!(s.prove(&Pred::eq(roundtrip, n.clone())), Outcome::Proved);
+        // Constant folding: log2(16) == 4.
+        assert_eq!(
+            s.prove(&Pred::eq(LinExpr::constant(16).log2(), LinExpr::constant(4))),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn disjunctive_facts() {
+        let mut s = Solver::new();
+        s.assume(Pred::or([
+            Pred::eq(var("N"), LinExpr::constant(2)),
+            Pred::eq(var("N"), LinExpr::constant(4)),
+        ]));
+        assert_eq!(s.prove(&Pred::ge(var("N"), LinExpr::constant(2))), Outcome::Proved);
+        assert_eq!(s.prove(&Pred::le(var("N"), LinExpr::constant(4))), Outcome::Proved);
+        assert!(matches!(s.prove(&Pred::eq(var("N"), LinExpr::constant(2))), Outcome::Disproved(_)));
+    }
+
+    #[test]
+    fn inconsistent_facts_detected() {
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("A"), LinExpr::constant(5)));
+        s.assume(Pred::le(var("A"), LinExpr::constant(3)));
+        assert!(!s.facts_consistent());
+        // Everything is provable from inconsistent facts.
+        assert_eq!(s.prove(&Pred::eq(var("X"), LinExpr::constant(77))), Outcome::Proved);
+    }
+
+    #[test]
+    fn scoped_assumptions() {
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("W"), LinExpr::constant(1)));
+        let mark = s.mark();
+        s.assume(Pred::ge(var("W"), LinExpr::constant(12)));
+        assert_eq!(s.prove(&Pred::ge(var("W"), LinExpr::constant(10))), Outcome::Proved);
+        s.reset_to(mark);
+        assert_ne!(s.prove(&Pred::ge(var("W"), LinExpr::constant(10))), Outcome::Proved);
+        assert_eq!(s.facts().len(), 1);
+    }
+
+    #[test]
+    fn strict_and_nonstrict_bounds() {
+        let mut s = Solver::new();
+        s.assume(Pred::lt(var("A"), var("B")));
+        assert_eq!(
+            s.prove(&Pred::le(var("A") + LinExpr::constant(1), var("B"))),
+            Outcome::Proved
+        );
+        assert_ne!(s.prove(&Pred::lt(var("A") + LinExpr::constant(1), var("B"))), Outcome::Proved);
+    }
+
+    #[test]
+    fn nonlinear_terms_are_conservative() {
+        let mut s = Solver::new();
+        // W*H >= 0 is not provable without sign information (terms are
+        // opaque), so the solver must not claim it holds.
+        let prod = var("W").multiply(&var("H"));
+        let out = s.prove(&Pred::ge(prod.clone(), LinExpr::zero()));
+        assert_ne!(out, Outcome::Proved);
+        // But once assumed, it can be used.
+        s.assume(Pred::ge(prod.clone(), LinExpr::constant(4)));
+        assert_eq!(s.prove(&Pred::ge(prod, LinExpr::constant(1))), Outcome::Proved);
+    }
+
+    #[test]
+    fn mod_constraint_from_generator_interface() {
+        // Aetherling: some #N where 16 % #N == 0, #N > 0. Given N == 4 the
+        // fact 16 % N == 0 must check out (constant folding after subst).
+        let mut s = Solver::new();
+        s.assume(Pred::eq(var("N"), LinExpr::constant(4)));
+        let m = LinExpr::constant(16).modulo(&var("N"));
+        assert_eq!(s.prove(&Pred::eq(m, LinExpr::zero())), Outcome::Proved);
+    }
+
+    #[test]
+    fn shift_balancing_identity() {
+        // The corrected FPU: Max >= AddL, so scheduling the mux at G+Max
+        // after delaying the adder output by Max-AddL lands inside the
+        // shifted availability interval [G + AddL + (Max-AddL), ...).
+        let mut s = Solver::new();
+        let max = var("Max");
+        let addl = var("AddL");
+        s.assume(Pred::ge(max.clone(), addl.clone()));
+        s.assume(Pred::ge(addl.clone(), LinExpr::constant(1)));
+        let avail_start = var("G") + addl.clone() + (max.clone() - addl.clone());
+        let read_at = var("G") + max.clone();
+        assert_eq!(s.prove(&Pred::eq(avail_start, read_at)), Outcome::Proved);
+    }
+}

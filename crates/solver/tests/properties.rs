@@ -1,0 +1,117 @@
+//! Property-based tests for the solver: whatever the engine *proves* must
+//! hold on random concrete assignments, and models it returns must actually
+//! satisfy / refute what they claim to.
+
+use lilac_solver::{LinExpr, Model, Outcome, Pred, Solver, Term};
+use proptest::prelude::*;
+
+/// A small random affine expression over three variables.
+fn arb_expr() -> impl Strategy<Value = LinExpr> {
+    (
+        -6i64..=6,
+        -6i64..=6,
+        -6i64..=6,
+        -20i64..=20,
+    )
+        .prop_map(|(a, b, c, k)| {
+            LinExpr::var("X").scaled(a)
+                + LinExpr::var("Y").scaled(b)
+                + LinExpr::var("Z").scaled(c)
+                + LinExpr::constant(k)
+        })
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    (arb_expr(), arb_expr(), 0..3u8).prop_map(|(a, b, kind)| match kind {
+        0 => Pred::le(a, b),
+        1 => Pred::ge(a, b),
+        _ => Pred::eq(a, b),
+    })
+}
+
+fn model_for(x: i64, y: i64, z: i64) -> Model {
+    let mut m = Model::new();
+    m.assign(Term::var("X"), x);
+    m.assign(Term::var("Y"), y);
+    m.assign(Term::var("Z"), z);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of proofs: if the solver proves `facts ⊢ goal`, then every
+    /// random assignment satisfying the facts also satisfies the goal.
+    #[test]
+    fn proofs_are_sound(
+        facts in proptest::collection::vec(arb_pred(), 0..4),
+        goal in arb_pred(),
+        assignments in proptest::collection::vec((0i64..12, 0i64..12, 0i64..12), 20),
+    ) {
+        let mut solver = Solver::new();
+        for f in &facts {
+            solver.assume(f.clone());
+        }
+        if solver.prove(&goal) == Outcome::Proved {
+            for (x, y, z) in assignments {
+                let m = model_for(x, y, z);
+                let facts_hold = facts.iter().all(|f| f.eval(&m).unwrap_or(false));
+                if facts_hold {
+                    prop_assert_eq!(goal.eval(&m), Some(true),
+                        "proved goal violated at X={} Y={} Z={}", x, y, z);
+                }
+            }
+        }
+    }
+
+    /// Counterexamples are genuine: a `Disproved` outcome's model satisfies
+    /// every fact and falsifies the goal.
+    #[test]
+    fn counterexamples_are_genuine(
+        facts in proptest::collection::vec(arb_pred(), 0..3),
+        goal in arb_pred(),
+    ) {
+        let mut solver = Solver::new();
+        for f in &facts {
+            solver.assume(f.clone());
+        }
+        if let Outcome::Disproved(model) = solver.prove(&goal) {
+            // The model only assigns the atoms that survive saturation
+            // (equality substitution can eliminate variables), so evaluate
+            // what it covers: nothing it determines may contradict the claim.
+            for f in &facts {
+                prop_assert_ne!(f.eval(&model), Some(false), "fact violated by model {}", model);
+            }
+            prop_assert_ne!(goal.eval(&model), Some(true), "goal not refuted by model {}", model);
+        }
+    }
+
+    /// Linear-expression arithmetic agrees with integer arithmetic under
+    /// evaluation.
+    #[test]
+    fn expression_arithmetic_matches_evaluation(
+        a in arb_expr(),
+        b in arb_expr(),
+        x in -10i64..10, y in -10i64..10, z in -10i64..10,
+        scale in -5i64..5,
+    ) {
+        let m = model_for(x, y, z);
+        let va = m.eval(&a).unwrap();
+        let vb = m.eval(&b).unwrap();
+        prop_assert_eq!(m.eval(&(a.clone() + b.clone())).unwrap(), va + vb);
+        prop_assert_eq!(m.eval(&(a.clone() - b.clone())).unwrap(), va - vb);
+        prop_assert_eq!(m.eval(&a.scaled(scale)).unwrap(), va * scale);
+        prop_assert_eq!(m.eval(&a.multiply(&b)).unwrap(), va * vb);
+    }
+
+    /// Trivial reflexive facts are always provable, and contradictions never
+    /// are.
+    #[test]
+    fn reflexivity_and_contradiction(e in arb_expr()) {
+        let mut solver = Solver::new();
+        prop_assert_eq!(solver.prove(&Pred::eq(e.clone(), e.clone())), Outcome::Proved);
+        prop_assert_eq!(solver.prove(&Pred::le(e.clone(), e.clone())), Outcome::Proved);
+        let absurd = Pred::lt(e.clone(), e);
+        prop_assert_ne!(solver.prove(&absurd), Outcome::Proved);
+    }
+}

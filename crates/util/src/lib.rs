@@ -1,0 +1,29 @@
+//! Shared infrastructure for the Lilac reproduction workspace.
+//!
+//! This crate provides the small, dependency-free building blocks used by
+//! every other crate in the workspace:
+//!
+//! * [`intern`] — a string interner producing copyable [`Symbol`]s,
+//! * [`span`] — byte-offset source spans and position/line-column mapping,
+//! * [`diag`] — structured diagnostics (errors, warnings, notes) with
+//!   rendering against a [`SourceMap`],
+//! * [`idx`] — strongly-typed index newtypes and dense index maps.
+//!
+//! # Example
+//!
+//! ```
+//! use lilac_util::intern::Symbol;
+//! let a = Symbol::intern("FPAdd");
+//! let b = Symbol::intern("FPAdd");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "FPAdd");
+//! ```
+
+pub mod diag;
+pub mod idx;
+pub mod intern;
+pub mod span;
+
+pub use diag::{Diagnostic, DiagnosticKind, ErrorReporter, LilacError, Result};
+pub use intern::Symbol;
+pub use span::{SourceFile, SourceMap, Span};

@@ -1,0 +1,268 @@
+//! Source positions, spans, and the source map.
+//!
+//! Spans are byte ranges into a file registered in a [`SourceMap`]. They are
+//! carried on every AST node and diagnostic so errors can be rendered with
+//! line/column information, matching the compiler-style error messages shown
+//! in §3.2 of the paper.
+
+use std::fmt;
+
+/// Identifier of a file registered in a [`SourceMap`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// A byte range within a source file.
+///
+/// The `file` component refers to a [`SourceFile`] in the [`SourceMap`] the
+/// span was produced from. The special [`Span::dummy`] span is used for
+/// synthesized nodes (e.g. components built programmatically via the builder
+/// API rather than parsed from text).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Span {
+    /// File the span points into.
+    pub file: FileId,
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a new span. `start` must be `<= end`.
+    pub fn new(file: FileId, start: u32, end: u32) -> Span {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { file, start, end }
+    }
+
+    /// A span that does not point anywhere; used for synthesized nodes.
+    pub fn dummy() -> Span {
+        Span { file: FileId(u32::MAX), start: 0, end: 0 }
+    }
+
+    /// Returns true if this is the dummy span.
+    pub fn is_dummy(&self) -> bool {
+        self.file == FileId(u32::MAX)
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// If the spans come from different files the left span is returned.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() || self.file != other.file {
+            return self;
+        }
+        Span { file: self.file, start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns true if the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::dummy()
+    }
+}
+
+/// A line/column position (both 1-based) within a file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A single source file: its name, contents, and a line-start index.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Display name of the file (path or synthetic name like `<fpu.lilac>`).
+    pub name: String,
+    /// Full contents.
+    pub src: String,
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    fn new(name: String, src: String) -> SourceFile {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile { name, src, line_starts }
+    }
+
+    /// Converts a byte offset into a 1-based line/column pair.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol { line: line_idx as u32 + 1, col: offset - self.line_starts[line_idx] + 1 }
+    }
+
+    /// Returns the text of the 1-based line `line`, without its newline.
+    pub fn line_text(&self, line: u32) -> &str {
+        let idx = (line - 1) as usize;
+        let start = self.line_starts[idx] as usize;
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|&e| e as usize)
+            .unwrap_or(self.src.len());
+        self.src[start..end].trim_end_matches('\n')
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+/// A collection of source files, handing out [`FileId`]s and resolving spans.
+///
+/// # Example
+///
+/// ```
+/// use lilac_util::span::SourceMap;
+/// let mut map = SourceMap::new();
+/// let file = map.add_file("fpu.lilac", "comp FPU<G:1>() -> () {}\n");
+/// let sf = map.file(file);
+/// assert_eq!(sf.line_col(5).line, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> SourceMap {
+        SourceMap { files: Vec::new() }
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: impl Into<String>, src: impl Into<String>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile::new(name.into(), src.into()));
+        id
+    }
+
+    /// Returns the file with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this map.
+    pub fn file(&self, id: FileId) -> &SourceFile {
+        &self.files[id.0 as usize]
+    }
+
+    /// Returns the source text covered by `span`, or `None` for dummy spans.
+    pub fn snippet(&self, span: Span) -> Option<&str> {
+        if span.is_dummy() {
+            return None;
+        }
+        let file = self.file(span.file);
+        file.src.get(span.start as usize..span.end as usize)
+    }
+
+    /// Formats `span` as `name:line:col`, or `<unknown>` for dummy spans.
+    pub fn describe(&self, span: Span) -> String {
+        if span.is_dummy() {
+            return "<unknown>".to_string();
+        }
+        let file = self.file(span.file);
+        let lc = file.line_col(span.start);
+        format!("{}:{}", file.name, lc)
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Returns true if no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_span_roundtrip() {
+        let s = Span::dummy();
+        assert!(s.is_dummy());
+        assert!(s.is_empty());
+        assert_eq!(Span::default(), s);
+    }
+
+    #[test]
+    fn merge_spans() {
+        let f = FileId(0);
+        let a = Span::new(f, 3, 7);
+        let b = Span::new(f, 5, 12);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end), (3, 12));
+        assert_eq!(Span::dummy().merge(a), a);
+        assert_eq!(a.merge(Span::dummy()), a);
+    }
+
+    #[test]
+    fn merge_across_files_keeps_left() {
+        let a = Span::new(FileId(0), 3, 7);
+        let b = Span::new(FileId(1), 5, 12);
+        assert_eq!(a.merge(b), a);
+    }
+
+    #[test]
+    fn line_col_mapping() {
+        let mut map = SourceMap::new();
+        let id = map.add_file("test.lilac", "abc\ndef\nghi");
+        let f = map.file(id);
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(f.line_col(3), LineCol { line: 1, col: 4 });
+        assert_eq!(f.line_col(4), LineCol { line: 2, col: 1 });
+        assert_eq!(f.line_col(9), LineCol { line: 3, col: 2 });
+        assert_eq!(f.line_count(), 3);
+        assert_eq!(f.line_text(2), "def");
+    }
+
+    #[test]
+    fn snippet_and_describe() {
+        let mut map = SourceMap::new();
+        let id = map.add_file("x.lilac", "comp FPU");
+        let span = Span::new(id, 5, 8);
+        assert_eq!(map.snippet(span), Some("FPU"));
+        assert_eq!(map.describe(span), "x.lilac:1:6");
+        assert_eq!(map.describe(Span::dummy()), "<unknown>");
+        assert_eq!(map.snippet(Span::dummy()), None);
+    }
+
+    #[test]
+    fn empty_map() {
+        let map = SourceMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+    }
+}

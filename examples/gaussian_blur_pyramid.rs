@@ -1,0 +1,74 @@
+//! The §7 case study: the Gaussian blur pyramid built on Aetherling-generated
+//! convolutions, compared against its ready–valid (latency-insensitive)
+//! counterpart across the five design points of Figure 13.
+//!
+//! Run with `cargo run --example gaussian_blur_pyramid`.
+
+use lilac::core::check_program;
+use lilac::designs::Design;
+use lilac::elab::{elaborate_module, ElabConfig};
+use lilac::gen::GeneratorRegistry;
+use lilac::li::gbp;
+use lilac::synth::estimate;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = Design::Gbp.program()?;
+    check_program(&program)?;
+    println!("GBP design type-checks for every parameterization.\n");
+    println!(
+        "{:<6} {:>14} {:>12} {:>12} {:>22}",
+        "N", "conv latency", "GBP #L", "GBP #II", "Lilac LUTs/regs"
+    );
+    for n in [1u64, 2, 4, 8, 16] {
+        let mut registry = GeneratorRegistry::with_builtin_tools();
+        registry.set_default_knob("aetherling", "multipliers", n);
+        let module = elaborate_module(
+            &program,
+            "Gbp",
+            &BTreeMap::from([("W".to_string(), 8)]),
+            &ElabConfig::with_registry(registry),
+        )?;
+        let la_system = gbp::la_gbp_system(&module.netlist, 8, n as u32);
+        let cost = estimate(&la_system);
+        println!(
+            "{:<6} {:>14} {:>12} {:>12} {:>22}",
+            n,
+            module.out_params["L"] / 3,
+            module.out_params["L"],
+            module.out_params["II"],
+            format!("{} / {}", cost.luts, cost.registers)
+        );
+    }
+
+    println!("\nComparison against the ready–valid implementation (Figure 13):");
+    for row in lilac_bench_rows()? {
+        println!(
+            "  N={:<3} Lilac {:>5} LUTs {:>5} regs {:>4.0} MHz   |   RV {:>5} LUTs {:>5} regs {:>4.0} MHz",
+            row.0, row.1.luts, row.1.registers, row.1.fmax_mhz, row.2.luts, row.2.registers, row.2.fmax_mhz
+        );
+    }
+    Ok(())
+}
+
+fn lilac_bench_rows() -> Result<
+    Vec<(u32, lilac::synth::ResourceEstimate, lilac::synth::ResourceEstimate)>,
+    Box<dyn std::error::Error>,
+> {
+    let program = Design::Gbp.program()?;
+    let mut rows = Vec::new();
+    for n in [1u32, 2, 4, 8, 16] {
+        let mut registry = GeneratorRegistry::with_builtin_tools();
+        registry.set_default_knob("aetherling", "multipliers", n as u64);
+        let module = elaborate_module(
+            &program,
+            "Gbp",
+            &BTreeMap::from([("W".to_string(), 8)]),
+            &ElabConfig::with_registry(registry),
+        )?;
+        let la = estimate(&gbp::la_gbp_system(&module.netlist, 8, n));
+        let li = estimate(&gbp::li_gbp(8, n));
+        rows.push((n, la, li));
+    }
+    Ok(rows)
+}

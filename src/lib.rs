@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the Lilac reproduction workspace.
+pub use lilac_ast as ast;
+pub use lilac_core as core;
+pub use lilac_designs as designs;
+pub use lilac_elab as elab;
+pub use lilac_gen as gen;
+pub use lilac_ir as ir;
+pub use lilac_li as li;
+pub use lilac_sim as sim;
+pub use lilac_solver as solver;
+pub use lilac_synth as synth;
+pub use lilac_util as util;
