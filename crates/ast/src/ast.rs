@@ -156,11 +156,13 @@ pub enum ParamExpr {
 
 impl ParamExpr {
     /// Convenience constructor for `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: ParamExpr, b: ParamExpr) -> ParamExpr {
         ParamExpr::Bin(BinOp::Add, Box::new(a), Box::new(b))
     }
 
     /// Convenience constructor for `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: ParamExpr, b: ParamExpr) -> ParamExpr {
         ParamExpr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
     }

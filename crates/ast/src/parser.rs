@@ -267,11 +267,8 @@ impl Parser {
             let name = self.ident()?;
             // Delays use `additive` (not `param_expr`) so the closing `>` of
             // the event list is not mistaken for a comparison operator.
-            let delay = if self.eat(TokenKind::Colon) {
-                self.additive()?
-            } else {
-                ParamExpr::Nat(1)
-            };
+            let delay =
+                if self.eat(TokenKind::Colon) { self.additive()? } else { ParamExpr::Nat(1) };
             out.push(EventDecl { name, delay });
             if !self.eat(TokenKind::Comma) {
                 break;
@@ -486,8 +483,7 @@ impl Parser {
                 Ok(ParamExpr::Param(id))
             }
             TokenKind::Log2 | TokenKind::Exp2 => {
-                let op =
-                    if self.peek_kind() == TokenKind::Log2 { UnOp::Log2 } else { UnOp::Exp2 };
+                let op = if self.peek_kind() == TokenKind::Log2 { UnOp::Log2 } else { UnOp::Exp2 };
                 self.bump();
                 self.expect(TokenKind::LParen)?;
                 let inner = self.param_expr()?;

@@ -23,12 +23,7 @@ pub fn print_param_expr(e: &ParamExpr) -> String {
         }
         ParamExpr::InstAccess { instance, param } => format!("{instance}::#{param}"),
         ParamExpr::Cond(c, a, b) => {
-            format!(
-                "({} ? {} : {})",
-                print_constraint(c),
-                print_param_expr(a),
-                print_param_expr(b)
-            )
+            format!("({} ? {} : {})", print_constraint(c), print_param_expr(a), print_param_expr(b))
         }
     }
 }

@@ -1,71 +1,121 @@
-//! Criterion benchmarks: the compile-time costs the paper reports (Figure 8's
-//! type-check times) plus elaboration and cost-model throughput for the
-//! table/figure harnesses.
+//! Benchmarks for the compile-time costs the paper reports (Figure 8's
+//! type-check times), elaboration and cost-model throughput, and — the
+//! headline of the obligation-discharge rework — the optimized-vs-naive
+//! solver A/B.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! instead of Criterion this is a small self-contained harness
+//! (`harness = false`): warm up, take the minimum of N timed runs (the
+//! statistic least sensitive to scheduler noise), and print one line per
+//! benchmark. Run with `cargo bench -p lilac-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lilac_core::check_program;
+use lilac_core::{check_program, check_program_with, CheckOptions};
 use lilac_designs::Design;
 use lilac_elab::{elaborate, ElabConfig};
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
-fn bench_typecheck(c: &mut Criterion) {
-    let mut group = c.benchmark_group("typecheck");
-    group.sample_size(10);
+/// Minimum-of-N timing with warmup.
+fn bench(name: &str, samples: usize, mut f: impl FnMut()) {
+    for _ in 0..2 {
+        f();
+    }
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        total += elapsed;
+        best = best.min(elapsed);
+    }
+    println!("{name:<55} min {best:>12.3?}   mean {:>12.3?}", total / samples as u32);
+}
+
+fn bench_typecheck() {
+    println!("-- typecheck (optimized pipeline) --");
     for design in Design::all() {
         let program = design.program().expect("bundled design parses");
-        group.bench_function(design.name(), |b| {
-            b.iter(|| check_program(std::hint::black_box(&program)).expect("design checks"))
+        bench(&format!("typecheck/{}", design.name()), 10, || {
+            check_program(std::hint::black_box(&program)).expect("design checks");
         });
     }
-    group.finish();
 }
 
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parse");
-    group.sample_size(20);
+fn bench_parse() {
+    println!("-- parse --");
     for design in [Design::Stdlib, Design::Gbp, Design::BlasLevel1] {
-        group.bench_function(design.name(), |b| b.iter(|| design.program().expect("parses")));
+        bench(&format!("parse/{}", design.name()), 20, || {
+            design.program().expect("parses");
+        });
     }
-    group.finish();
 }
 
-fn bench_elaborate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elaborate");
-    group.sample_size(10);
+fn bench_elaborate() {
+    println!("-- elaborate --");
     let fpu = Design::Fpu.program().expect("fpu parses");
-    group.bench_function("FPU W=32", |b| {
-        b.iter(|| {
-            elaborate(
-                &fpu,
-                "FPU",
-                &BTreeMap::from([("W".to_string(), 32)]),
-                &ElabConfig::default(),
-            )
-            .expect("elaborates")
-        })
+    bench("elaborate/FPU W=32", 10, || {
+        elaborate(&fpu, "FPU", &BTreeMap::from([("W".to_string(), 32)]), &ElabConfig::default())
+            .expect("elaborates");
     });
     let gbp = Design::Gbp.program().expect("gbp parses");
-    group.bench_function("GBP W=8", |b| {
-        b.iter(|| {
-            elaborate(
-                &gbp,
-                "Gbp",
-                &BTreeMap::from([("W".to_string(), 8)]),
-                &ElabConfig::default(),
-            )
-            .expect("elaborates")
-        })
+    bench("elaborate/GBP W=8", 10, || {
+        elaborate(&gbp, "Gbp", &BTreeMap::from([("W".to_string(), 8)]), &ElabConfig::default())
+            .expect("elaborates");
     });
-    group.finish();
 }
 
-fn bench_harnesses(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exhibits");
-    group.sample_size(10);
-    group.bench_function("table1", |b| b.iter(|| lilac_bench::table1().expect("table1")));
-    group.bench_function("figure13", |b| b.iter(|| lilac_bench::figure13().expect("figure13")));
-    group.finish();
+fn bench_exhibits() {
+    println!("-- exhibits --");
+    bench("exhibits/table1", 10, || {
+        lilac_bench::table1().expect("table1");
+    });
+    bench("exhibits/figure13", 10, || {
+        lilac_bench::figure13().expect("figure13");
+    });
 }
 
-criterion_group!(benches, bench_typecheck, bench_parse, bench_elaborate, bench_harnesses);
-criterion_main!(benches);
+fn bench_solver_ab() {
+    println!("-- solver A/B: optimized obligation discharge vs naive baseline --");
+    let naive = CheckOptions::naive();
+    for design in Design::all() {
+        let program = design.program().expect("parses");
+        bench(&format!("naive-typecheck/{}", design.name()), 5, || {
+            check_program_with(std::hint::black_box(&program), &naive).expect("design checks");
+        });
+    }
+    let (rows, summary) = lilac_bench::solver_speedup(5).expect("speedup harness");
+    println!();
+    println!(
+        "{:<30} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "Design", "fast", "cold", "naive", "speedup", "cold-spd", "hit-rate"
+    );
+    for row in &rows {
+        println!(
+            "{:<30} {:>10.3?} {:>10.3?} {:>10.3?} {:>8.2}x {:>8.2}x {:>8.0}%",
+            row.design.name(),
+            row.fast,
+            row.cold,
+            row.naive,
+            row.speedup,
+            row.cold_speedup,
+            row.cache_hit_rate * 100.0
+        );
+    }
+    println!(
+        "TOTAL fast {:.3?}  cold {:.3?}  naive {:.3?}  speedup {:.2}x (cold {:.2}x)",
+        summary.fast_total,
+        summary.cold_total,
+        summary.naive_total,
+        summary.speedup,
+        summary.cold_speedup
+    );
+}
+
+fn main() {
+    bench_parse();
+    bench_typecheck();
+    bench_elaborate();
+    bench_exhibits();
+    bench_solver_ab();
+}

@@ -4,10 +4,7 @@
 fn main() {
     let rows = lilac_bench::figure13().expect("figure 13 harness");
     println!("Figure 13: GBP resource usage and maximum frequency (Lilac / RV)");
-    println!(
-        "{:<12} {:>15} {:>17} {:>17}",
-        "Design (N)", "LUTs", "Registers", "Freq. (MHz)"
-    );
+    println!("{:<12} {:>15} {:>17} {:>17}", "Design (N)", "LUTs", "Registers", "Freq. (MHz)");
     for row in &rows {
         println!(
             "{:<12} {:>15} {:>17} {:>17}",
@@ -18,7 +15,9 @@ fn main() {
         );
     }
     let s = lilac_bench::summarize_figure13(&rows);
-    println!("\nGeometric means: LI uses {:+.1}% LUTs, {:+.1}% registers, {:+.1}% frequency vs Lilac.",
-        s.li_lut_overhead_pct, s.li_register_overhead_pct, s.li_fmax_delta_pct);
+    println!(
+        "\nGeometric means: LI uses {:+.1}% LUTs, {:+.1}% registers, {:+.1}% frequency vs Lilac.",
+        s.li_lut_overhead_pct, s.li_register_overhead_pct, s.li_fmax_delta_pct
+    );
     println!("Paper (Vivado): +26.2% LUTs, +33.0% registers, -6.8% frequency.");
 }

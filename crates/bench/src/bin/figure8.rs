@@ -1,19 +1,36 @@
-//! Regenerates Figure 8: type-checker performance on the bundled designs.
+//! Regenerates Figure 8: type-checker performance on the bundled designs,
+//! with the solver-effort columns behind each number.
+//!
+//! `--json <path>` additionally writes the machine-readable
+//! `BENCH_figure8.json` artifact (used by the CI timing smoke job).
 
 fn main() {
     let rows = lilac_bench::figure8().expect("figure 8 harness");
     println!("Figure 8: Type checker performance");
     println!(
-        "{:<30} {:>7} {:>10} {:>12} {:>13} {:>12}",
-        "Design", "Lines", "Time (ms)", "Obligations", "Paper lines", "Paper (ms)"
+        "{:<30} {:>7} {:>10} {:>12} {:>8} {:>7} {:>9} {:>7} {:>13} {:>12}",
+        "Design",
+        "Lines",
+        "Time (ms)",
+        "Obligations",
+        "Queries",
+        "Hits",
+        "Hit-rate",
+        "Cubes",
+        "Paper lines",
+        "Paper (ms)"
     );
-    for row in rows {
+    for row in &rows {
         println!(
-            "{:<30} {:>7} {:>10.1} {:>12} {:>13} {:>12}",
+            "{:<30} {:>7} {:>10.1} {:>12} {:>8} {:>7} {:>8.0}% {:>7} {:>13} {:>12}",
             row.design.name(),
             row.lines,
             row.check_time.as_secs_f64() * 1000.0,
             row.obligations,
+            row.solver.queries,
+            row.solver.cache_hits,
+            row.solver.cache_hit_rate() * 100.0,
+            row.solver.cubes,
             row.paper_lines.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
             row.paper_time_ms.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
         );
@@ -21,4 +38,16 @@ fn main() {
     println!("\nNote: the bundled designs are smaller than the paper's (the reproduction");
     println!("captures each design's structure, not its full line count), so times are");
     println!("expected to be correspondingly lower; all designs check in well under a second.");
+    println!("Queries/hits/cubes describe the optimized solver pipeline's effort; see");
+    println!("EXPERIMENTS.md for the optimized-vs-naive A/B.");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            let path = args.next().unwrap_or_else(|| "BENCH_figure8.json".to_string());
+            std::fs::write(&path, lilac_bench::figure8_json(&rows))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("\nwrote {path}");
+        }
+    }
 }

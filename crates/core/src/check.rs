@@ -30,9 +30,12 @@ use crate::lower::{
 use lilac_ast::{
     Access, Cmd, Interval, Module, ModuleKind, PortDecl, PortType, Program, Signature,
 };
-use lilac_solver::{LinExpr, Model, Outcome, Pred, Solver, Term};
+use lilac_solver::{
+    FactMark, LinExpr, Model, Outcome, Pred, Solver, SolverConfig, SolverStats, Term,
+};
 use lilac_util::diag::{Diagnostic, ErrorReporter, LilacError, Result};
 use lilac_util::intern::Symbol;
+use lilac_util::par::par_map;
 use lilac_util::span::Span;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -50,14 +53,14 @@ pub struct ComponentReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Wall-clock time spent checking the component.
     pub elapsed: Duration,
+    /// Solver effort spent on this component (queries, cache hits, cubes).
+    pub solver_stats: SolverStats,
 }
 
 impl ComponentReport {
     /// True if no error diagnostics were produced.
     pub fn is_ok(&self) -> bool {
-        self.diagnostics
-            .iter()
-            .all(|d| d.kind != lilac_util::diag::DiagnosticKind::Error)
+        self.diagnostics.iter().all(|d| d.kind != lilac_util::diag::DiagnosticKind::Error)
     }
 }
 
@@ -89,9 +92,57 @@ impl CheckReport {
     pub fn component(&self, name: &str) -> Option<&ComponentReport> {
         self.components.iter().find(|c| c.name.as_str() == name)
     }
+
+    /// Aggregated solver statistics across all components. Per-component
+    /// stats are summed in component order, so the result is deterministic
+    /// under the parallel checker.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.components.iter().fold(SolverStats::default(), |acc, c| acc.merged(c.solver_stats))
+    }
 }
 
-/// Type-checks a whole program.
+/// Knobs controlling how a whole program is checked.
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Discharge components on parallel worker threads (components are
+    /// independent after signature collection, and reports are merged in
+    /// component order either way).
+    pub parallel: bool,
+    /// Solver configuration used for every component.
+    pub solver_config: SolverConfig,
+    /// Share one solver's fact arena across the whole component via
+    /// [`FactMark`] snapshots. When disabled, every write/invoke record
+    /// eagerly clones the fact vector and every conflict or resource-safety
+    /// pair is discharged by a throwaway solver seeded from those clones —
+    /// the pre-optimization behaviour kept as the A/B baseline.
+    pub indexed_scopes: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            parallel: true,
+            solver_config: SolverConfig::default(),
+            indexed_scopes: true,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// The pre-optimization path: serial checking, a naive solver (no
+    /// slicing, no caching), and cloned fact snapshots instead of indexed
+    /// scopes. The benchmark harness's A/B baseline.
+    pub fn naive() -> CheckOptions {
+        CheckOptions {
+            parallel: false,
+            solver_config: SolverConfig::naive(),
+            indexed_scopes: false,
+        }
+    }
+}
+
+/// Type-checks a whole program with default options (parallel components,
+/// sliced + cached solver).
 ///
 /// # Errors
 ///
@@ -99,36 +150,57 @@ impl CheckReport {
 /// successful per-component reports are lost in that case, so callers that
 /// want partial results should call [`check_component`] per module.
 pub fn check_program(program: &Program) -> Result<CheckReport> {
+    check_program_with(program, &CheckOptions::default())
+}
+
+/// Type-checks a whole program under explicit [`CheckOptions`].
+///
+/// # Errors
+///
+/// See [`check_program`].
+pub fn check_program_with(program: &Program, options: &CheckOptions) -> Result<CheckReport> {
     let lib = CompLibrary::build(program)?;
-    let mut report = CheckReport::default();
+    let modules: Vec<&Module> =
+        lib.iter().filter(|m| matches!(m.kind, ModuleKind::Comp { .. })).collect();
+    let components: Vec<ComponentReport> = if options.parallel && modules.len() > 1 {
+        par_map(&modules, |module| check_component_with(&lib, module, options))
+    } else {
+        modules.iter().map(|module| check_component_with(&lib, module, options)).collect()
+    };
     let mut errors = Vec::new();
-    for module in lib.iter() {
-        if matches!(module.kind, ModuleKind::Comp { .. }) {
-            let comp_report = check_component(&lib, module);
-            for d in &comp_report.diagnostics {
-                if d.kind == lilac_util::diag::DiagnosticKind::Error {
-                    errors.push(d.clone());
-                }
+    for comp_report in &components {
+        for d in &comp_report.diagnostics {
+            if d.kind == lilac_util::diag::DiagnosticKind::Error {
+                errors.push(d.clone());
             }
-            report.components.push(comp_report);
         }
     }
     if errors.is_empty() {
-        Ok(report)
+        Ok(CheckReport { components })
     } else {
         Err(LilacError::from_diagnostics(errors))
     }
 }
 
-/// Type-checks a single component against a library.
+/// Type-checks a single component against a library with default options.
 pub fn check_component(lib: &CompLibrary<'_>, module: &Module) -> ComponentReport {
+    check_component_with(lib, module, &CheckOptions::default())
+}
+
+/// Type-checks a single component with explicit options.
+pub fn check_component_with(
+    lib: &CompLibrary<'_>,
+    module: &Module,
+    options: &CheckOptions,
+) -> ComponentReport {
     let start = Instant::now();
-    let mut checker = Checker::new(lib, module);
+    let mut checker = Checker::new(lib, module, options);
     checker.run();
     ComponentReport {
         name: module.name(),
         obligations: checker.obligations,
         proved: checker.proved,
+        solver_stats: checker.solver.stats(),
         diagnostics: checker.reporter.into_diagnostics(),
         elapsed: start.elapsed(),
     }
@@ -180,8 +252,11 @@ struct WriteRecord {
     key: WriteKey,
     /// Element indices for bundle writes (empty for scalar targets).
     indices: Vec<LinExpr>,
-    /// Snapshot of the solver facts in effect at the write.
-    facts: Vec<Pred>,
+    /// O(1) snapshot of the solver scope in effect at the write.
+    facts: FactMark,
+    /// Eagerly cloned fact vector, populated only in the
+    /// non-indexed-scopes (baseline) mode.
+    eager_facts: Option<Vec<Pred>>,
     /// Solver names of the loop variables enclosing the write.
     loop_vars: Vec<Symbol>,
     span: Span,
@@ -193,7 +268,11 @@ struct InvokeRecord {
     time: LinExpr,
     /// Initiation interval (delay) of the callee, lowered.
     callee_delay: LinExpr,
-    facts: Vec<Pred>,
+    /// O(1) snapshot of the solver scope in effect at the invocation.
+    facts: FactMark,
+    /// Eagerly cloned fact vector, populated only in the
+    /// non-indexed-scopes (baseline) mode.
+    eager_facts: Option<Vec<Pred>>,
     loop_vars: Vec<Symbol>,
     span: Span,
 }
@@ -224,15 +303,32 @@ struct Checker<'a> {
     obligations: usize,
     proved: usize,
     fresh: u32,
+    /// See [`CheckOptions::indexed_scopes`].
+    indexed_scopes: bool,
+    /// Solver configuration, kept to seed baseline-mode throwaway solvers.
+    solver_config: SolverConfig,
+    /// The component's own event variables, computed once.
+    own_events: HashMap<Symbol, LinExpr>,
+    /// Memoized callee-port intervals per (invocation uid, port name): the
+    /// lowering rebuilds the callee substitution and its output-parameter
+    /// applications on every port access otherwise. The side facts produced
+    /// by the lowering are replayed on every hit (assumption is idempotent —
+    /// facts are content-interned).
+    port_interval_cache: HashMap<(Symbol, Symbol), Option<PortInterval>>,
 }
 
+/// A lowered availability interval plus the side facts its lowering emits.
+type PortInterval = (LinExpr, LinExpr, Vec<Pred>);
+
 impl<'a> Checker<'a> {
-    fn new(lib: &'a CompLibrary<'a>, module: &'a Module) -> Checker<'a> {
+    fn new(lib: &'a CompLibrary<'a>, module: &'a Module, options: &CheckOptions) -> Checker<'a> {
         Checker {
             lib,
             module,
             sig: &module.sig,
-            solver: Solver::new(),
+            solver: Solver::with_config(options.solver_config.clone()),
+            indexed_scopes: options.indexed_scopes,
+            solver_config: options.solver_config.clone(),
             reporter: ErrorReporter::new(),
             instances: HashMap::new(),
             instance_loop_vars: HashMap::new(),
@@ -247,6 +343,13 @@ impl<'a> Checker<'a> {
             obligations: 0,
             proved: 0,
             fresh: 0,
+            own_events: module
+                .sig
+                .events
+                .iter()
+                .map(|e| (e.name.name, event_var(e.name.name)))
+                .collect(),
+            port_interval_cache: HashMap::new(),
         }
     }
 
@@ -256,14 +359,15 @@ impl<'a> Checker<'a> {
         self.assume_signature_facts();
         // Check signature timing well-formedness.
         self.check_signature_timing();
-        let body = match &self.module.kind {
-            ModuleKind::Comp { body } => body.clone(),
+        let module: &'a Module = self.module;
+        let body = match &module.kind {
+            ModuleKind::Comp { body } => body,
             _ => return,
         };
-        self.check_scope(&body);
+        self.check_scope(body);
         self.check_write_conflicts();
         self.check_resource_safety();
-        self.check_outputs_driven(&body);
+        self.check_outputs_driven(body);
     }
 
     fn env(&self) -> LowerEnv<'_> {
@@ -271,7 +375,7 @@ impl<'a> Checker<'a> {
     }
 
     fn own_events(&self) -> HashMap<Symbol, LinExpr> {
-        self.sig.events.iter().map(|e| (e.name.name, event_var(e.name.name))).collect()
+        self.own_events.clone()
     }
 
     fn assume_signature_facts(&mut self) {
@@ -316,10 +420,11 @@ impl<'a> Checker<'a> {
     }
 
     fn check_signature_timing(&mut self) {
+        let sig: &'a Signature = self.sig;
         let events = self.own_events();
-        let delays: HashMap<Symbol, lilac_ast::ParamExpr> =
-            self.sig.events.iter().map(|e| (e.name.name, e.delay.clone())).collect();
-        for port in self.sig.inputs.clone() {
+        let delays: HashMap<Symbol, &lilac_ast::ParamExpr> =
+            sig.events.iter().map(|e| (e.name.name, &e.delay)).collect();
+        for port in &sig.inputs {
             if let PortType::Interface { .. } = port.ty {
                 continue;
             }
@@ -351,7 +456,7 @@ impl<'a> Checker<'a> {
                 }
             }
         }
-        for port in self.sig.outputs.clone() {
+        for port in &sig.outputs {
             let Some((start, end)) = self.lower_interval(&port.liveness, &events) else {
                 continue;
             };
@@ -400,10 +505,7 @@ impl<'a> Checker<'a> {
             Cmd::OutParamBind { name, value, span } => {
                 if self.sig.out_param(name.name).is_none() {
                     self.reporter.error(
-                        format!(
-                            "`#{name}` is not an output parameter of `{}`",
-                            self.sig.name
-                        ),
+                        format!("`#{name}` is not an output parameter of `{}`", self.sig.name),
                         *span,
                     );
                     return;
@@ -417,14 +519,15 @@ impl<'a> Checker<'a> {
                     Err(e) => self.push_error(e),
                 }
             }
-            Cmd::Assume { constraint, span: _ } => match lower_constraint(constraint, &self.env())
-            {
-                Ok(lowered) => {
-                    self.assume_all(lowered.facts);
-                    self.solver.assume(lowered.pred);
+            Cmd::Assume { constraint, span: _ } => {
+                match lower_constraint(constraint, &self.env()) {
+                    Ok(lowered) => {
+                        self.assume_all(lowered.facts);
+                        self.solver.assume(lowered.pred);
+                    }
+                    Err(e) => self.push_error(e),
                 }
-                Err(e) => self.push_error(e),
-            },
+            }
             Cmd::Bundle { name, idx_vars, dims, liveness, width, span } => {
                 let mut lowered_dims = Vec::new();
                 for d in dims {
@@ -674,11 +777,8 @@ impl<'a> Checker<'a> {
         let Some(callee) = self.lib.signature(inv.comp) else {
             return;
         };
-        let data_inputs: Vec<&PortDecl> = callee
-            .inputs
-            .iter()
-            .filter(|p| matches!(p.ty, PortType::Data { .. }))
-            .collect();
+        let data_inputs: Vec<&PortDecl> =
+            callee.inputs.iter().filter(|p| matches!(p.ty, PortType::Data { .. })).collect();
         if args.len() != data_inputs.len() {
             self.reporter.error(
                 format!(
@@ -697,16 +797,15 @@ impl<'a> Checker<'a> {
             self.writes.push(WriteRecord {
                 key: WriteKey::InvocationInput(inv.uid, port.name.name),
                 indices: Vec::new(),
-                facts: self.solver.facts().to_vec(),
+                facts: self.solver.mark(),
+                eager_facts: self.eager_snapshot(),
                 loop_vars: self.loop_vars.clone(),
                 span,
             });
         }
         // Record the invocation for resource-safety checking.
-        let delay = callee
-            .primary_event()
-            .map(|e| e.delay.clone())
-            .unwrap_or(lilac_ast::ParamExpr::Nat(1));
+        let delay =
+            callee.primary_event().map(|e| e.delay.clone()).unwrap_or(lilac_ast::ParamExpr::Nat(1));
         let callee_env = self.callee_env(&inv, callee);
         let delay_l = match lower_param_expr_with(&delay, &callee_env, self) {
             Some(e) => e,
@@ -717,13 +816,15 @@ impl<'a> Checker<'a> {
             .and_then(|e| inv.schedule.get(&e.name.name))
             .cloned()
             .unwrap_or_else(LinExpr::zero);
-        self.invokes.entry(inv.instance_uid).or_default().push(InvokeRecord {
+        let record = InvokeRecord {
             time,
             callee_delay: delay_l,
-            facts: self.solver.facts().to_vec(),
+            facts: self.solver.mark(),
+            eager_facts: self.eager_snapshot(),
             loop_vars: self.loop_vars.clone(),
             span,
-        });
+        };
+        self.invokes.entry(inv.instance_uid).or_default().push(record);
     }
 
     // -- connections ----------------------------------------------------------
@@ -738,7 +839,8 @@ impl<'a> Checker<'a> {
         self.writes.push(WriteRecord {
             key,
             indices,
-            facts: self.solver.facts().to_vec(),
+            facts: self.solver.mark(),
+            eager_facts: self.eager_snapshot(),
             loop_vars: self.loop_vars.clone(),
             span,
         });
@@ -754,8 +856,10 @@ impl<'a> Checker<'a> {
             return; // constants are always available
         };
         let (rstart, rend) = req;
-        let pred =
-            Pred::and([Pred::le(astart.clone(), rstart.clone()), Pred::le(rend.clone(), aend.clone())]);
+        let pred = Pred::and([
+            Pred::le(astart.clone(), rstart.clone()),
+            Pred::le(rend.clone(), aend.clone()),
+        ]);
         self.prove_with(
             pred,
             move |model| {
@@ -774,17 +878,13 @@ impl<'a> Checker<'a> {
     /// The availability interval of a read access. `Ok(None)` means the
     /// access is a constant (always available).
     #[allow(clippy::type_complexity)]
-    fn availability(
-        &mut self,
-        access: &Access,
-        span: Span,
-    ) -> Option<Option<(LinExpr, LinExpr)>> {
+    fn availability(&mut self, access: &Access, span: Span) -> Option<Option<(LinExpr, LinExpr)>> {
         match access {
             Access::Const { .. } => Some(None),
             Access::Var(name) => {
+                let sig: &'a Signature = self.sig;
                 // Input port of the enclosing component?
-                if let Some(port) = self.sig.input(name.name) {
-                    let port = port.clone();
+                if let Some(port) = sig.input(name.name) {
                     if let PortType::Interface { .. } = port.ty {
                         self.reporter.error(
                             format!("interface port `{name}` cannot be read as data"),
@@ -797,10 +897,8 @@ impl<'a> Checker<'a> {
                 }
                 // Bundle read without an index?
                 if self.bundles.contains_key(&name.name) {
-                    self.reporter.error(
-                        format!("bundle `{name}` must be indexed when read"),
-                        name.span,
-                    );
+                    self.reporter
+                        .error(format!("bundle `{name}` must be indexed when read"), name.span);
                     return None;
                 }
                 // Invocation with a single output port?
@@ -829,10 +927,8 @@ impl<'a> Checker<'a> {
                 };
                 let callee = self.lib.signature(invocation.comp)?;
                 let Some(decl) = callee.output(port.name) else {
-                    self.reporter.error(
-                        format!("`{}` has no output port `{port}`", callee.name),
-                        port.span,
-                    );
+                    self.reporter
+                        .error(format!("`{}` has no output port `{port}`", callee.name), port.span);
                     return None;
                 };
                 let decl = decl.clone();
@@ -904,10 +1000,8 @@ impl<'a> Checker<'a> {
                     return Some((WriteKey::OutputPort(name.name), Vec::new(), interval));
                 }
                 if self.bundles.contains_key(&name.name) {
-                    self.reporter.error(
-                        format!("bundle `{name}` must be indexed when written"),
-                        name.span,
-                    );
+                    self.reporter
+                        .error(format!("bundle `{name}` must be indexed when written"), name.span);
                     return None;
                 }
                 self.reporter.error(
@@ -923,10 +1017,8 @@ impl<'a> Checker<'a> {
                 };
                 let callee = self.lib.signature(invocation.comp)?;
                 let Some(decl) = callee.input(port.name) else {
-                    self.reporter.error(
-                        format!("`{}` has no input port `{port}`", callee.name),
-                        port.span,
-                    );
+                    self.reporter
+                        .error(format!("`{}` has no input port `{port}`", callee.name), port.span);
                     return None;
                 };
                 let decl = decl.clone();
@@ -972,11 +1064,7 @@ impl<'a> Checker<'a> {
                                     );
                                 }
                             }
-                            return Some((
-                                WriteKey::Bundle(bundle_name.name),
-                                vec![idx],
-                                interval,
-                            ));
+                            return Some((WriteKey::Bundle(bundle_name.name), vec![idx], interval));
                         }
                     }
                 }
@@ -1059,6 +1147,17 @@ impl<'a> Checker<'a> {
         callee: &Signature,
         port: &PortDecl,
     ) -> Option<(LinExpr, LinExpr)> {
+        let key = (inv.uid, port.name.name);
+        if let Some(cached) = self.port_interval_cache.get(&key) {
+            let cached = cached.clone();
+            return match cached {
+                Some((start, end, facts)) => {
+                    self.assume_all(facts);
+                    Some((start, end))
+                }
+                None => None,
+            };
+        }
         let mut subst: HashMap<Symbol, LinExpr> = HashMap::new();
         for (decl, arg) in callee.params.iter().zip(inv.args.iter()) {
             subst.insert(decl.name.name, arg.clone());
@@ -1071,22 +1170,22 @@ impl<'a> Checker<'a> {
         let end = lower_time(&port.liveness.end, &inv.schedule, &env);
         match (start, end) {
             (Ok(s), Ok(e)) => {
-                self.assume_all(s.facts);
-                self.assume_all(e.facts);
+                let mut facts = s.facts;
+                facts.extend(e.facts);
+                self.port_interval_cache
+                    .insert(key, Some((s.expr.clone(), e.expr.clone(), facts.clone())));
+                self.assume_all(facts);
                 Some((s.expr, e.expr))
             }
             (Err(err), _) | (_, Err(err)) => {
                 self.push_error(err);
+                self.port_interval_cache.insert(key, None);
                 None
             }
         }
     }
 
-    fn callee_env<'b>(
-        &self,
-        inv: &InvocationInfo,
-        callee: &Signature,
-    ) -> HashMap<Symbol, LinExpr> {
+    fn callee_env(&self, inv: &InvocationInfo, callee: &Signature) -> HashMap<Symbol, LinExpr> {
         let mut subst: HashMap<Symbol, LinExpr> = HashMap::new();
         for (decl, arg) in callee.params.iter().zip(inv.args.iter()) {
             subst.insert(decl.name.name, arg.clone());
@@ -1211,19 +1310,23 @@ impl<'a> Checker<'a> {
         };
         let rename_pred = |p: &Pred| rename_pred_terms(p, &renames);
 
-        let mut solver = Solver::new();
-        for f in &a.facts {
-            solver.assume(f.clone());
-        }
-        for f in &b.facts {
-            solver.assume(rename_pred(f));
-        }
+        // The combined context is a's recorded scope (shared structurally —
+        // no cloning) extended with b's facts, renamed where the pair
+        // semantics require distinct iterations. In baseline mode the same
+        // facts instead come from the records' eager clones and a throwaway
+        // solver, reproducing the pre-optimization cost profile.
+        let b_facts: Vec<Pred> = match &b.eager_facts {
+            Some(facts) => facts.iter().map(rename_pred).collect(),
+            None => self.solver.facts_at(b.facts).iter().map(rename_pred).collect(),
+        };
+        let mut extra = b_facts;
         if let Some(distinct_vars) = &self_distinct {
             // The two iterations must be distinct in at least one loop var.
-            let distinct = Pred::or(distinct_vars.iter().map(|lv| {
-                Pred::ne(LinExpr::var(lv.as_str()), LinExpr::var(&format!("{lv}'")))
-            }));
-            solver.assume(distinct);
+            extra.push(Pred::or(
+                distinct_vars
+                    .iter()
+                    .map(|lv| Pred::ne(LinExpr::var(lv.as_str()), LinExpr::var(&format!("{lv}'")))),
+            ));
         }
 
         self.obligations += 1;
@@ -1236,7 +1339,16 @@ impl<'a> Checker<'a> {
                 let same = Pred::and(
                     idx_a.iter().zip(idx_b.iter()).map(|(x, y)| Pred::eq(x.clone(), y.clone())),
                 );
-                match solver.prove(&same.negate()) {
+                let outcome = if self.indexed_scopes {
+                    self.solver.prove_under(a.facts, &extra, &same.negate())
+                } else {
+                    let mut solver = self.baseline_solver(a.eager_facts.as_deref().unwrap_or(&[]));
+                    for f in &extra {
+                        solver.assume(f.clone());
+                    }
+                    solver.prove(&same.negate())
+                };
+                match outcome {
                     Outcome::Proved => self.proved += 1,
                     Outcome::Disproved(model) => {
                         self.reporter.report(
@@ -1262,7 +1374,16 @@ impl<'a> Checker<'a> {
             _ => {
                 // Scalar target: the two writes must be mutually exclusive,
                 // i.e. their combined path conditions must be inconsistent.
-                if solver.facts_consistent() {
+                let consistent = if self.indexed_scopes {
+                    self.solver.consistent_under(a.facts, &extra)
+                } else {
+                    let mut solver = self.baseline_solver(a.eager_facts.as_deref().unwrap_or(&[]));
+                    for f in &extra {
+                        solver.assume(f.clone());
+                    }
+                    solver.facts_consistent()
+                };
+                if consistent {
                     self.reporter.report(
                         Diagnostic::error(format!("{target} is driven more than once"), a.span)
                             .with_note_at("conflicting driver here", b.span),
@@ -1293,12 +1414,8 @@ impl<'a> Checker<'a> {
             let decl_loop_vars =
                 self.instance_loop_vars.get(&instance).cloned().unwrap_or_default();
             for rec in &records {
-                let extra: Vec<Symbol> = rec
-                    .loop_vars
-                    .iter()
-                    .filter(|v| !decl_loop_vars.contains(v))
-                    .copied()
-                    .collect();
+                let extra: Vec<Symbol> =
+                    rec.loop_vars.iter().filter(|v| !decl_loop_vars.contains(v)).copied().collect();
                 if extra.is_empty() {
                     continue;
                 }
@@ -1313,12 +1430,13 @@ impl<'a> Checker<'a> {
                     }
                     out
                 };
-                let mut solver = Solver::new();
-                for f in &rec.facts {
-                    solver.assume(f.clone());
-                    solver.assume(rename_pred_terms(f, &renames));
-                }
-                solver.assume(Pred::or(extra.iter().map(|lv| {
+                let rec_facts: Vec<Pred> = match &rec.eager_facts {
+                    Some(facts) => facts.clone(),
+                    None => self.solver.facts_at(rec.facts),
+                };
+                let mut extras: Vec<Pred> =
+                    rec_facts.iter().map(|f| rename_pred_terms(f, &renames)).collect();
+                extras.push(Pred::or(extra.iter().map(|lv| {
                     Pred::ne(LinExpr::var(lv.as_str()), LinExpr::var(&format!("{lv}'")))
                 })));
                 let other_time = rename_expr(&rec.time);
@@ -1327,7 +1445,16 @@ impl<'a> Checker<'a> {
                     Pred::le(rec.time.clone() + rec.callee_delay.clone(), other_time.clone()),
                     Pred::le(other_time + rec.callee_delay.clone(), rec.time.clone()),
                 ]);
-                match solver.prove(&apart) {
+                let outcome = if self.indexed_scopes {
+                    self.solver.prove_under(rec.facts, &extras, &apart)
+                } else {
+                    let mut solver = self.baseline_solver(&rec_facts);
+                    for f in &extras {
+                        solver.assume(f.clone());
+                    }
+                    solver.prove(&apart)
+                };
+                match outcome {
                     Outcome::Proved => self.proved += 1,
                     Outcome::Disproved(model) => self.reporter.report(
                         Diagnostic::error(
@@ -1355,16 +1482,26 @@ impl<'a> Checker<'a> {
                     }
                     let a = &records[i];
                     let b = &records[j];
-                    let mut solver = Solver::new();
-                    for f in a.facts.iter().chain(b.facts.iter()) {
-                        solver.assume(f.clone());
-                    }
+                    let extras = match &b.eager_facts {
+                        Some(facts) => facts.clone(),
+                        None => self.solver.facts_at(b.facts),
+                    };
                     self.obligations += 1;
                     let apart = Pred::or([
                         Pred::le(a.time.clone() + a.callee_delay.clone(), b.time.clone()),
                         Pred::le(b.time.clone() + b.callee_delay.clone(), a.time.clone()),
                     ]);
-                    match solver.prove(&apart) {
+                    let outcome = if self.indexed_scopes {
+                        self.solver.prove_under(a.facts, &extras, &apart)
+                    } else {
+                        let mut solver =
+                            self.baseline_solver(a.eager_facts.as_deref().unwrap_or(&[]));
+                        for f in &extras {
+                            solver.assume(f.clone());
+                        }
+                        solver.prove(&apart)
+                    };
+                    match outcome {
                         Outcome::Proved => self.proved += 1,
                         Outcome::Disproved(model) => self.reporter.report(
                             Diagnostic::error(
@@ -1390,16 +1527,26 @@ impl<'a> Checker<'a> {
             // delay.
             for a in &records {
                 for b in &records {
-                    let mut solver = Solver::new();
-                    for f in a.facts.iter().chain(b.facts.iter()) {
-                        solver.assume(f.clone());
-                    }
+                    let extras = match &b.eager_facts {
+                        Some(facts) => facts.clone(),
+                        None => self.solver.facts_at(b.facts),
+                    };
                     self.obligations += 1;
                     let pred = Pred::le(
                         a.time.clone() + a.callee_delay.clone(),
                         b.time.clone() + own_delay.clone(),
                     );
-                    match solver.prove(&pred) {
+                    let outcome = if self.indexed_scopes {
+                        self.solver.prove_under(a.facts, &extras, &pred)
+                    } else {
+                        let mut solver =
+                            self.baseline_solver(a.eager_facts.as_deref().unwrap_or(&[]));
+                        for f in &extras {
+                            solver.assume(f.clone());
+                        }
+                        solver.prove(&pred)
+                    };
+                    match outcome {
                         Outcome::Proved => self.proved += 1,
                         Outcome::Disproved(model) => self.reporter.report(
                             Diagnostic::error(
@@ -1449,6 +1596,26 @@ impl<'a> Checker<'a> {
         }
     }
 
+    /// The baseline mode's eager per-record fact clone (`None` when indexed
+    /// scopes are on and a [`FactMark`] suffices).
+    fn eager_snapshot(&self) -> Option<Vec<Pred>> {
+        if self.indexed_scopes {
+            None
+        } else {
+            Some(self.solver.facts_at(self.solver.mark()))
+        }
+    }
+
+    /// A throwaway solver pre-seeded with `facts`, as the baseline conflict
+    /// path used before indexed scopes.
+    fn baseline_solver(&self, facts: &[Pred]) -> Solver {
+        let mut solver = Solver::with_config(self.solver_config.clone());
+        for f in facts {
+            solver.assume(f.clone());
+        }
+        solver
+    }
+
     fn prove_obligations(&mut self, obls: Vec<Obligation>) {
         for o in obls {
             self.prove(o.pred, o.message, o.span);
@@ -1456,18 +1623,17 @@ impl<'a> Checker<'a> {
     }
 
     fn prove(&mut self, pred: Pred, message: String, span: Span) {
-        self.prove_with(pred, move |model| match model {
-            Some(m) => format!("{message}; counterexample: {m}"),
-            None => message.clone(),
-        }, span);
+        self.prove_with(
+            pred,
+            move |model| match model {
+                Some(m) => format!("{message}; counterexample: {m}"),
+                None => message.clone(),
+            },
+            span,
+        );
     }
 
-    fn prove_with(
-        &mut self,
-        pred: Pred,
-        message: impl Fn(Option<&Model>) -> String,
-        span: Span,
-    ) {
+    fn prove_with(&mut self, pred: Pred, message: impl Fn(Option<&Model>) -> String, span: Span) {
         self.obligations += 1;
         match self.solver.prove(&pred) {
             Outcome::Proved => self.proved += 1,

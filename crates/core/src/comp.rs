@@ -132,10 +132,8 @@ fn check_signature(sig: &Signature, reporter: &mut ErrorReporter) {
     let mut ports = HashMap::new();
     for port in sig.inputs.iter().chain(sig.outputs.iter()) {
         if ports.insert(port.name.name, port.name.span).is_some() {
-            reporter.error(
-                format!("duplicate port `{}` in `{}`", port.name, sig.name),
-                port.name.span,
-            );
+            reporter
+                .error(format!("duplicate port `{}` in `{}`", port.name, sig.name), port.name.span);
         }
         match &port.ty {
             PortType::Interface { event } => {
@@ -177,10 +175,8 @@ fn check_signature(sig: &Signature, reporter: &mut ErrorReporter) {
         }
     }
     if sig.events.is_empty() && !sig.inputs.is_empty() {
-        reporter.error(
-            format!("component `{}` has ports but declares no event", sig.name),
-            sig.span,
-        );
+        reporter
+            .error(format!("component `{}` has ports but declares no event", sig.name), sig.span);
     }
 }
 
@@ -235,8 +231,7 @@ mod tests {
 
     #[test]
     fn out_param_shadowing_rejected() {
-        let msg =
-            lib_err("extern comp A[#L]<G:1>(x: [G, G+1] 8) -> () with { some #L; };");
+        let msg = lib_err("extern comp A[#L]<G:1>(x: [G, G+1] 8) -> () with { some #L; };");
         assert!(msg.contains("shadows"), "{msg}");
     }
 

@@ -226,7 +226,7 @@ mod tests {
         let f = features_of(
             "gen \"flopoco\" comp FPAdd[#W]<G:1>(l: [G, G+1] #W, r: [G, G+1] #W) -> (o: [G+#L, G+#L+1] #W) with { some #L where #L > 0; };",
         );
-        assert!(f.contains(&GeneratorFeature::InputDependentTiming) == false);
+        assert!(!f.contains(&GeneratorFeature::InputDependentTiming));
         assert!(f.contains(&GeneratorFeature::OutputDependentTiming));
     }
 

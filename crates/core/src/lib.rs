@@ -47,6 +47,9 @@ pub mod comp;
 pub mod interface;
 pub mod lower;
 
-pub use check::{check_component, check_program, CheckReport, ComponentReport};
+pub use check::{
+    check_component, check_component_with, check_program, check_program_with, CheckOptions,
+    CheckReport, ComponentReport,
+};
 pub use comp::CompLibrary;
 pub use interface::{GeneratorFeature, InterfaceStyle, TimingKnowledge};

@@ -88,6 +88,20 @@ pub fn fresh_var(prefix: &str) -> Term {
     Term::Var(Symbol::intern(&format!("{prefix}${n}")))
 }
 
+thread_local! {
+    /// Memo for the formatted solver names below: the formatting and the
+    /// global-interner lock would otherwise run on every single lowering
+    /// step of the hot check path.
+    static NAME_MEMO: std::cell::RefCell<std::collections::HashMap<(u8, Symbol, Symbol), Symbol>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+fn memoized_symbol(kind: u8, a: Symbol, b: Symbol, make: impl FnOnce() -> String) -> Symbol {
+    NAME_MEMO.with(|memo| {
+        *memo.borrow_mut().entry((kind, a, b)).or_insert_with(|| Symbol::intern(&make()))
+    })
+}
+
 /// The uninterpreted-function symbol for `comp`'s output parameter `param`.
 pub fn out_param_func(comp: Symbol, param: Symbol) -> String {
     format!("{comp}::#{param}")
@@ -95,12 +109,14 @@ pub fn out_param_func(comp: Symbol, param: Symbol) -> String {
 
 /// The solver variable used for event `ev` of the current component.
 pub fn event_var(ev: Symbol) -> LinExpr {
-    LinExpr::var(&format!("@{ev}"))
+    let sym = memoized_symbol(0, ev, ev, || format!("@{ev}"));
+    LinExpr::from_term(Term::Var(sym), 1)
 }
 
 /// The solver variable used for a parameter of the current component.
 pub fn param_var(name: Symbol) -> LinExpr {
-    LinExpr::var(&format!("#{name}"))
+    let sym = memoized_symbol(1, name, name, || format!("#{name}"));
+    LinExpr::from_term(Term::Var(sym), 1)
 }
 
 /// Lowers a parameter expression.
@@ -162,10 +178,8 @@ pub fn lower_param_expr(e: &ParamExpr, env: &LowerEnv<'_>) -> Result<Lowered> {
                         comp.span,
                     ))
                 })?;
-                let lowered_args: Vec<LinExpr> = args
-                    .iter()
-                    .map(|a| go(a, env, facts, obligations))
-                    .collect::<Result<_>>()?;
+                let lowered_args: Vec<LinExpr> =
+                    args.iter().map(|a| go(a, env, facts, obligations)).collect::<Result<_>>()?;
                 let resolved =
                     resolve_param_args(sig, &lowered_args, env, comp.span, facts, obligations)?;
                 access_out_param(sig, &resolved, param.name, comp.span, env, facts, obligations)
@@ -299,13 +313,8 @@ fn access_out_param(
 /// The uninterpreted application encoding `sig`'s output parameter `param`
 /// for the given instantiation arguments.
 pub fn out_param_expr(sig: &Signature, args: &[LinExpr], param: Symbol) -> LinExpr {
-    LinExpr::from_term(
-        Term::App {
-            func: Symbol::intern(&out_param_func(sig.name.name, param)),
-            args: args.to_vec(),
-        },
-        1,
-    )
+    let func = memoized_symbol(2, sig.name.name, param, || out_param_func(sig.name.name, param));
+    LinExpr::from_term(Term::App { func, args: args.to_vec() }, 1)
 }
 
 /// Facts (output-parameter guarantees) and obligations (input `where`
@@ -399,9 +408,7 @@ fn lower_constraint_inner(
             let le = lower_sub(e, env, facts, obligations)?;
             Pred::ne(le, LinExpr::zero())
         }
-        Constraint::Not(inner) => {
-            lower_constraint_inner(inner, env, facts, obligations)?.negate()
-        }
+        Constraint::Not(inner) => lower_constraint_inner(inner, env, facts, obligations)?.negate(),
         Constraint::And(a, b) => Pred::and([
             lower_constraint_inner(a, env, facts, obligations)?,
             lower_constraint_inner(b, env, facts, obligations)?,
@@ -498,10 +505,7 @@ mod tests {
             solver.prove(&Pred::ge(lowered.expr.clone(), LinExpr::var("#X"))),
             Outcome::Proved
         );
-        assert_eq!(
-            solver.prove(&Pred::ge(lowered.expr, LinExpr::var("#Y"))),
-            Outcome::Proved
-        );
+        assert_eq!(solver.prove(&Pred::ge(lowered.expr, LinExpr::var("#Y"))), Outcome::Proved);
     }
 
     #[test]
@@ -530,10 +534,7 @@ mod tests {
         for f in &lowered.facts {
             solver.assume(f.clone());
         }
-        assert_eq!(
-            solver.prove(&Pred::ge(lowered.expr, LinExpr::constant(1))),
-            Outcome::Proved
-        );
+        assert_eq!(solver.prove(&Pred::ge(lowered.expr, LinExpr::constant(1))), Outcome::Proved);
     }
 
     #[test]

@@ -202,10 +202,7 @@ pub fn stdlib() -> Result<Program> {
 }
 
 fn count_lines(src: &str) -> usize {
-    src.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//"))
-        .count()
+    src.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with("//")).count()
 }
 
 #[cfg(test)]

@@ -114,8 +114,7 @@ pub fn elaborate_module(
 ) -> Result<ElabModule> {
     let lib = CompLibrary::build(program)?;
     let mut elab = Elaborator { lib: &lib, config, memo: HashMap::new() };
-    let args: BTreeMap<Symbol, u64> =
-        params.iter().map(|(k, v)| (Symbol::intern(k), *v)).collect();
+    let args: BTreeMap<Symbol, u64> = params.iter().map(|(k, v)| (Symbol::intern(k), *v)).collect();
     elab.elaborate(Symbol::intern(top), &args, 0, Span::dummy())
 }
 
@@ -149,10 +148,8 @@ impl<'a> Elaborator<'a> {
         if let Some(cached) = self.memo.get(&key) {
             return Ok(cached.clone());
         }
-        let module = self
-            .lib
-            .get(name)
-            .ok_or_else(|| err(format!("unknown component `{name}`"), span))?;
+        let module =
+            self.lib.get(name).ok_or_else(|| err(format!("unknown component `{name}`"), span))?;
         let result = match &module.kind {
             ModuleKind::Extern { .. } => self.elaborate_extern(module, args, span)?,
             ModuleKind::Gen { tool } => self.elaborate_gen(module, tool, args, span)?,
@@ -179,11 +176,8 @@ impl<'a> Elaborator<'a> {
             .filter(|p| matches!(p.ty, PortType::Data { .. }))
             .map(|p| p.name.to_string())
             .collect();
-        let out_name = sig
-            .outputs
-            .first()
-            .map(|p| p.name.to_string())
-            .unwrap_or_else(|| "out".to_string());
+        let out_name =
+            sig.outputs.first().map(|p| p.name.to_string()).unwrap_or_else(|| "out".to_string());
 
         let mut netlist = Netlist::new(format!("{name}_{width}"));
         let kind = match name {
@@ -279,7 +273,7 @@ impl<'a> Elaborator<'a> {
         builder.finish(sig, &env, self, depth)
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
     fn unroll(
         &mut self,
         cmds: &[Cmd],
@@ -357,7 +351,15 @@ impl<'a> Elaborator<'a> {
                     self.record_invocation(name.name, name.name, args, env, builder, depth, *span)?;
                 }
                 Cmd::Invoke { name, instance, args, span, .. } => {
-                    self.record_invocation(name.name, instance.name, args, env, builder, depth, *span)?;
+                    self.record_invocation(
+                        name.name,
+                        instance.name,
+                        args,
+                        env,
+                        builder,
+                        depth,
+                        *span,
+                    )?;
                 }
                 Cmd::Connect { dst, src, span } => {
                     builder.record_connect(dst, src, env, self, depth, *span)?;
@@ -643,10 +645,7 @@ impl<'a> Elaborator<'a> {
                     .or_else(|| env.instances.get(instance.as_str()))
                     .ok_or_else(|| err(format!("unknown instance `{instance}`"), span))?;
                 *inst.out_params.get(param.as_str()).ok_or_else(|| {
-                    err(
-                        format!("instance `{instance}` has no output parameter `#{param}`"),
-                        span,
-                    )
+                    err(format!("instance `{instance}` has no output parameter `#{param}`"), span)
                 })?
             }
             ParamExpr::Cond(c, a, b) => {
@@ -1000,7 +999,7 @@ impl CompBuilder {
     ) -> Result<()> {
         let dst_signals = self.access_signals(dst, 1, env, elab, depth, span)?;
         let src_signals = self.access_signals(src, 1, env, elab, depth, span)?;
-        for (d, s) in dst_signals.into_iter().zip(src_signals.into_iter()) {
+        for (d, s) in dst_signals.into_iter().zip(src_signals) {
             self.connects.push((d, s, span));
         }
         Ok(())
@@ -1126,20 +1125,13 @@ impl CompBuilder {
         // names.
         let callee_sig = elab.lib.signature(inst.comp).expect("callee exists");
         let data_outputs: Vec<_> = callee_sig.outputs.iter().collect();
-        let impl_outputs: Vec<(String, NodeId)> = child
-            .netlist
-            .outputs
-            .iter()
-            .map(|(p, _)| (p.name.clone(), outputs[&p.name]))
-            .collect();
+        let impl_outputs: Vec<(String, NodeId)> =
+            child.netlist.outputs.iter().map(|(p, _)| (p.name.clone(), outputs[&p.name])).collect();
         // Positional mapping: flatten the signature outputs in order.
         let mut flat_sig_outputs: Vec<String> = Vec::new();
         for port in &data_outputs {
-            let dims: Vec<u64> = port
-                .dims
-                .iter()
-                .map(|d| eval_static(d, &inst.args).unwrap_or(1))
-                .collect();
+            let dims: Vec<u64> =
+                port.dims.iter().map(|d| eval_static(d, &inst.args).unwrap_or(1)).collect();
             let count = dims.iter().product::<u64>().max(1);
             if port.dims.is_empty() {
                 flat_sig_outputs.push(port.name.to_string());

@@ -54,13 +54,9 @@ fn params(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
 fn shift_register_elaborates_to_n_registers() {
     let (prog, _) = parse_program("t.lilac", STDLIB).unwrap();
     for n in [0u64, 1, 3, 8] {
-        let netlist = elaborate(
-            &prog,
-            "Shift",
-            &params(&[("W", 16), ("N", n)]),
-            &ElabConfig::default(),
-        )
-        .unwrap();
+        let netlist =
+            elaborate(&prog, "Shift", &params(&[("W", 16), ("N", n)]), &ElabConfig::default())
+                .unwrap();
         assert_eq!(netlist.sequential_count() as u64, n, "Shift[{n}]");
         // Functional spot-check: after driving 1, 2, 3, ... the output equals
         // the value driven n cycles earlier (zero while the pipe fills).
@@ -68,7 +64,11 @@ fn shift_register_elaborates_to_n_registers() {
         for v in 1..=(n + 3) {
             sim.set_input("in", v);
             sim.step();
-            assert_eq!(sim.output("out"), v.saturating_sub(n.saturating_sub(1)), "Shift[{n}] at cycle {v}");
+            assert_eq!(
+                sim.output("out"),
+                v.saturating_sub(n.saturating_sub(1)),
+                "Shift[{n}] at cycle {v}"
+            );
         }
     }
 }
@@ -99,26 +99,18 @@ fn fpu_elaborates_and_adapts_to_generator_goals() {
     // A=1, M=1 configuration).
     let mut slow_reg = GeneratorRegistry::with_builtin_tools();
     slow_reg.set_default_goals(GenGoals { target_mhz: 100, ..GenGoals::default() });
-    let slow = elaborate_module(
-        &prog,
-        "FPU",
-        &params(&[("W", 32)]),
-        &ElabConfig::with_registry(slow_reg),
-    )
-    .unwrap();
+    let slow =
+        elaborate_module(&prog, "FPU", &params(&[("W", 32)]), &ElabConfig::with_registry(slow_reg))
+            .unwrap();
     assert_eq!(slow.out_params.get("L"), Some(&1));
 
     // High-frequency goals: deeper pipelines (A=4, M=2) — the same Lilac
     // source adapts without modification.
     let mut fast_reg = GeneratorRegistry::with_builtin_tools();
     fast_reg.set_default_goals(GenGoals { target_mhz: 280, ..GenGoals::default() });
-    let fast = elaborate_module(
-        &prog,
-        "FPU",
-        &params(&[("W", 32)]),
-        &ElabConfig::with_registry(fast_reg),
-    )
-    .unwrap();
+    let fast =
+        elaborate_module(&prog, "FPU", &params(&[("W", 32)]), &ElabConfig::with_registry(fast_reg))
+            .unwrap();
     assert_eq!(fast.out_params.get("L"), Some(&4));
     assert!(fast.netlist.sequential_count() > slow.netlist.sequential_count());
 }
@@ -129,13 +121,9 @@ fn elaborated_fpu_is_functionally_correct() {
     let (prog, _) = parse_program("fpu.lilac", &src).unwrap();
     let mut reg = GeneratorRegistry::with_builtin_tools();
     reg.set_default_goals(GenGoals { target_mhz: 280, ..GenGoals::default() });
-    let module = elaborate_module(
-        &prog,
-        "FPU",
-        &params(&[("W", 32)]),
-        &ElabConfig::with_registry(reg),
-    )
-    .unwrap();
+    let module =
+        elaborate_module(&prog, "FPU", &params(&[("W", 32)]), &ElabConfig::with_registry(reg))
+            .unwrap();
     let latency = module.out_params["L"] as usize;
     let mut sim = Simulator::new(&module.netlist).unwrap();
 
@@ -223,7 +211,8 @@ fn undriven_output_is_an_elaboration_error() {
     }
     "#;
     let (prog, _) = parse_program("n.lilac", src).unwrap();
-    let err = elaborate(&prog, "NoDrive", &params(&[("W", 8)]), &ElabConfig::default()).unwrap_err();
+    let err =
+        elaborate(&prog, "NoDrive", &params(&[("W", 8)]), &ElabConfig::default()).unwrap_err();
     assert!(err.to_string().contains("never driven"), "{err}");
 }
 
@@ -231,8 +220,7 @@ fn undriven_output_is_an_elaboration_error() {
 fn verilog_emission_of_elaborated_design() {
     let src = format!("{STDLIB}\n{FPU}");
     let (prog, _) = parse_program("fpu.lilac", &src).unwrap();
-    let netlist =
-        elaborate(&prog, "FPU", &params(&[("W", 32)]), &ElabConfig::default()).unwrap();
+    let netlist = elaborate(&prog, "FPU", &params(&[("W", 32)]), &ElabConfig::default()).unwrap();
     let verilog = lilac_ir::emit_verilog(&netlist);
     assert!(verilog.contains("module FPU"));
     assert!(verilog.contains("input [31:0] l;"));

@@ -76,10 +76,7 @@ impl GeneratorRegistry {
 
     /// Sets a default knob value for a tool.
     pub fn set_default_knob(&mut self, tool: &str, knob: &str, value: u64) {
-        self.default_knobs
-            .entry(tool.to_string())
-            .or_default()
-            .insert(knob.to_string(), value);
+        self.default_knobs.entry(tool.to_string()).or_default().insert(knob.to_string(), value);
     }
 
     /// Generates a module, filling in default goals and knobs.
@@ -149,8 +146,9 @@ mod tests {
         assert_eq!(r.generate(&req).unwrap().out_param("N"), Some(8));
 
         // An explicit knob still wins.
-        let req =
-            GenRequest::new("aetherling", "AethConv").with_param("W", 8).with_knob("multipliers", 2);
+        let req = GenRequest::new("aetherling", "AethConv")
+            .with_param("W", 8)
+            .with_knob("multipliers", 2);
         assert_eq!(r.generate(&req).unwrap().out_param("N"), Some(2));
     }
 

@@ -87,7 +87,8 @@ impl Generator for FloPoCo {
         let latency = self.latency(req, is_add)?;
         let mut out_params = BTreeMap::new();
         out_params.insert("L".to_string(), latency);
-        let netlist = binary_core(&format!("flopoco_{}_{w}", req.component), op, w, latency as u32, 1);
+        let netlist =
+            binary_core(&format!("flopoco_{}_{w}", req.component), op, w, latency as u32, 1);
         Ok(GenResult { out_params, netlist })
     }
 }
@@ -164,7 +165,9 @@ impl Generator for VivadoIp {
             "Rad2" => {
                 let w = req.param("W")?;
                 let ii = req.param_or("II", 1);
-                if ii >= 9 || ii % 2 == 0 && ii != 1 && ii != 2 && ii != 4 && ii != 6 && ii != 8 {
+                if ii >= 9
+                    || ii.is_multiple_of(2) && ii != 1 && ii != 2 && ii != 4 && ii != 6 && ii != 8
+                {
                     return Err(GenError::InvalidConfig {
                         tool: "vivado".into(),
                         message: format!("Radix-2 divider II must be < 9 (got {ii})"),
@@ -264,7 +267,7 @@ impl Generator for Aetherling {
         // partially pipelined (II > 1) and must hold its inputs longer.
         let n = m;
         let ii = (16 / m).max(1);
-        let h = ii.min(4).max(1);
+        let h = ii.clamp(1, 4);
         let latency = 2 + 16 / m;
         let mut out_params = BTreeMap::new();
         out_params.insert("N".to_string(), n);
@@ -294,12 +297,7 @@ impl Generator for Aetherling {
             if i == 0 {
                 netlist.add_output(format!("out_{i}"), core);
             } else {
-                let lane = netlist.add_node(
-                    NodeKind::Delay(1),
-                    vec![core],
-                    w,
-                    format!("lane_{i}"),
-                );
+                let lane = netlist.add_node(NodeKind::Delay(1), vec![core], w, format!("lane_{i}"));
                 netlist.add_output(format!("out_{i}"), lane);
             }
         }

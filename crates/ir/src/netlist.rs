@@ -153,7 +153,12 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist.
     pub fn new(name: impl Into<String>) -> Netlist {
-        Netlist { name: name.into(), inputs: Vec::new(), outputs: Vec::new(), nodes: IndexVec::new() }
+        Netlist {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            nodes: IndexVec::new(),
+        }
     }
 
     /// Declares a module input and returns the node representing it.
@@ -351,7 +356,10 @@ impl Netlist {
                 NodeKind::Input(idx) => {
                     let port = &other.inputs[*idx];
                     *input_drivers.get(&port.name).unwrap_or_else(|| {
-                        panic!("inline: missing driver for input `{}` of `{}`", port.name, other.name)
+                        panic!(
+                            "inline: missing driver for input `{}` of `{}`",
+                            port.name, other.name
+                        )
                     })
                 }
                 kind => {
@@ -366,11 +374,7 @@ impl Netlist {
             };
             remap.insert(old_id, new_id);
         }
-        other
-            .outputs
-            .iter()
-            .map(|(port, id)| (port.name.clone(), remap[id]))
-            .collect()
+        other.outputs.iter().map(|(port, id)| (port.name.clone(), remap[id])).collect()
     }
 }
 
@@ -420,7 +424,7 @@ mod tests {
         let one = n.add_const(1, 8);
         // Create the register first with a placeholder input, then patch.
         let reg = n.add_node(NodeKind::Reg, vec![one], 8, "count");
-        let next = n.add_node(NodeKind::Add, vec![reg, one], 8, "next");
+        let _next = n.add_node(NodeKind::Add, vec![reg, one], 8, "next");
         // Rebuild with the proper feedback edge.
         let mut m = Netlist::new("counter");
         let one = m.add_const(1, 8);

@@ -46,8 +46,12 @@ pub mod rv {
         for (k, &stage) in stages.iter().enumerate().skip(1) {
             let k_const = n.add_const(k as u64, ptr_width.max(1));
             let is_k = n.add_node(NodeKind::Eq, vec![ptr, k_const], 1, format!("fifo_sel{k}"));
-            selected =
-                n.add_node(NodeKind::Mux, vec![is_k, stage, selected], width, format!("fifo_mux{k}"));
+            selected = n.add_node(
+                NodeKind::Mux,
+                vec![is_k, stage, selected],
+                width,
+                format!("fifo_mux{k}"),
+            );
         }
         selected
     }
@@ -207,7 +211,11 @@ pub mod fpu {
         let add_valid = rv::add_valid_pipe(&mut n, valid_i, add_latency);
         let mul_valid = rv::add_valid_pipe(&mut n, valid_i, mul_latency);
         let both = n.add_node(NodeKind::And, vec![add_valid, mul_valid], 1, "valid_join");
-        let out_valid = rv::add_valid_pipe(&mut n, both, max.saturating_sub(add_latency.min(mul_latency)).max(1));
+        let out_valid = rv::add_valid_pipe(
+            &mut n,
+            both,
+            max.saturating_sub(add_latency.min(mul_latency)).max(1),
+        );
 
         // The op FIFO that keeps selects aligned with in-flight operations.
         let fifo_out = rv::add_fifo(&mut n, op, valid_i, 1, max.max(2) + 2);
@@ -240,7 +248,11 @@ pub mod gbp {
     fn conv_core(n: &mut Netlist, inputs: &[NodeId], width: u32, par: u32, name: &str) -> NodeId {
         let latency = 4 + 16 / par.max(1);
         n.add_node(
-            NodeKind::PipelinedOp { op: PipeOp::Conv { par }, latency, ii: (16 / par.max(1)).max(1) },
+            NodeKind::PipelinedOp {
+                op: PipeOp::Conv { par },
+                latency,
+                ii: (16 / par.max(1)).max(1),
+            },
             inputs.to_vec(),
             width,
             name.to_string(),
@@ -253,7 +265,7 @@ pub mod gbp {
     /// source of the Figure 13 trend.
     pub fn add_serializer(n: &mut Netlist, window: &[NodeId], width: u32, par: u32) -> Vec<NodeId> {
         let par = par.max(1) as usize;
-        let groups = (window.len() + par - 1) / par;
+        let groups = window.len().div_ceil(par);
         // Hold the window.
         let held: Vec<NodeId> = window
             .iter()
@@ -277,7 +289,8 @@ pub mod gbp {
                     break;
                 }
                 let g_const = n.add_const(g as u64, cnt_w);
-                let is_g = n.add_node(NodeKind::Eq, vec![cnt, g_const], 1, format!("ser_is{g}_{j}"));
+                let is_g =
+                    n.add_node(NodeKind::Eq, vec![cnt, g_const], 1, format!("ser_is{g}_{j}"));
                 selected = n.add_node(
                     NodeKind::Mux,
                     vec![is_g, held[idx], selected],
@@ -325,7 +338,9 @@ pub mod gbp {
         let buffered: Vec<NodeId> = window
             .iter()
             .enumerate()
-            .map(|(i, &px)| n.add_node(NodeKind::RegEn, vec![px, valid_i], width, format!("buf{i}")))
+            .map(|(i, &px)| {
+                n.add_node(NodeKind::RegEn, vec![px, valid_i], width, format!("buf{i}"))
+            })
             .collect();
 
         let steps = (16 / par.max(1)).max(1);
@@ -333,10 +348,8 @@ pub mod gbp {
         let mut valid = valid_i;
         for stage in 0..3 {
             // Send and receive state machines per stage (Figure 12).
-            let (fire_send, busy_send) =
-                rv::add_handshake_fsm(&mut n, valid, ready_i, steps);
-            let (fire_recv, busy_recv) =
-                rv::add_handshake_fsm(&mut n, valid, ready_i, steps);
+            let (fire_send, busy_send) = rv::add_handshake_fsm(&mut n, valid, ready_i, steps);
+            let (fire_recv, busy_recv) = rv::add_handshake_fsm(&mut n, valid, ready_i, steps);
             // Chunk extraction muxes (like the serializer, but driven by the
             // send FSM, and always 16-wide on the buffer side).
             let chunk = add_serializer(&mut n, &stage_data, width, par);
@@ -362,12 +375,8 @@ pub mod gbp {
                     1,
                     format!("wr_en{stage}_{i}"),
                 );
-                let r = n.add_node(
-                    NodeKind::RegEn,
-                    vec![core, en],
-                    width,
-                    format!("res{stage}_{i}"),
-                );
+                let r =
+                    n.add_node(NodeKind::RegEn, vec![core, en], width, format!("res{stage}_{i}"));
                 results.push(r);
             }
             // Output double buffer: the receive FSM writes into one window
@@ -376,12 +385,18 @@ pub mod gbp {
                 .iter()
                 .enumerate()
                 .map(|(i, &r)| {
-                    n.add_node(NodeKind::RegEn, vec![r, fire_recv], width, format!("dbuf{stage}_{i}"))
+                    n.add_node(
+                        NodeKind::RegEn,
+                        vec![r, fire_recv],
+                        width,
+                        format!("dbuf{stage}_{i}"),
+                    )
                 })
                 .collect();
             // Valid for the next stage comes out of a skid buffer.
             let (_, v) = rv::add_skid_buffer(&mut n, core, valid, ready_i, width);
-            let stall = n.add_node(NodeKind::Or, vec![busy_send, busy_recv], 1, format!("stall{stage}"));
+            let stall =
+                n.add_node(NodeKind::Or, vec![busy_send, busy_recv], 1, format!("stall{stage}"));
             let gated = n.add_node(NodeKind::Not, vec![stall], 1, format!("go{stage}"));
             valid = n.add_node(NodeKind::And, vec![v, gated], 1, format!("valid{stage}"));
             stage_data = results;

@@ -182,10 +182,7 @@ impl Simulator {
 
     /// Convenience driver: applies each input map for one cycle and collects
     /// every output after that cycle's clock edge.
-    pub fn run_trace(
-        &mut self,
-        stimulus: &[HashMap<String, u64>],
-    ) -> Vec<HashMap<String, u64>> {
+    pub fn run_trace(&mut self, stimulus: &[HashMap<String, u64>]) -> Vec<HashMap<String, u64>> {
         let mut out = Vec::with_capacity(stimulus.len());
         for cycle_inputs in stimulus {
             self.set_inputs(cycle_inputs);
@@ -248,14 +245,7 @@ fn pipe_op_value(op: PipeOp, operands: &[u64]) -> u64 {
     match op {
         PipeOp::FAdd => get(0).wrapping_add(get(1)),
         PipeOp::FMul | PipeOp::IntMul => get(0).wrapping_mul(get(1)),
-        PipeOp::Div => {
-            let d = get(1);
-            if d == 0 {
-                0
-            } else {
-                get(0) / d
-            }
-        }
+        PipeOp::Div => get(0).checked_div(get(1)).unwrap_or(0),
         PipeOp::Mac => get(0).wrapping_mul(get(1)).wrapping_add(get(2)),
         // The convolution and FFT cores are modelled as a sum of their lanes;
         // the GBP evaluation only relies on their latency/II behaviour.
@@ -380,10 +370,8 @@ mod tests {
         let mut sim = Simulator::new(&n).unwrap();
         let ops: Vec<(u64, u64, u64)> =
             vec![(3, 5, 1), (3, 5, 0), (10, 4, 1), (10, 4, 0), (7, 7, 1), (2, 9, 0)];
-        let expected: Vec<u64> = ops
-            .iter()
-            .map(|&(a, b, op)| if op == 1 { a + b } else { a * b })
-            .collect();
+        let expected: Vec<u64> =
+            ops.iter().map(|&(a, b, op)| if op == 1 { a + b } else { a * b }).collect();
         // An operation issued in cycle c is visible in the evaluation that
         // follows the clock edge of cycle c+3 (four-cycle latency: the read
         // happens "during" cycle c+4, i.e. after the 4th step).

@@ -239,6 +239,20 @@ impl LinExpr {
         LinExpr::from_term(Term::app(funcs::EXP2, vec![self.clone()]), 1)
     }
 
+    /// Visits every term appearing in the expression by reference, including
+    /// terms nested inside application arguments — the allocation-free
+    /// counterpart of [`LinExpr::collect_terms`].
+    pub fn for_each_term<'a>(&'a self, f: &mut impl FnMut(&'a Term)) {
+        for (t, _) in self.terms.iter() {
+            f(t);
+            if let Term::App { args, .. } = t {
+                for a in args {
+                    a.for_each_term(f);
+                }
+            }
+        }
+    }
+
     /// Collects every term appearing in the expression, including terms
     /// nested inside application arguments.
     pub fn collect_terms(&self, out: &mut Vec<Term>) {
@@ -300,6 +314,7 @@ impl Add for LinExpr {
 
 impl Sub for LinExpr {
     type Output = LinExpr;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: LinExpr) -> LinExpr {
         self + rhs.neg()
     }
@@ -403,10 +418,7 @@ mod tests {
 
     #[test]
     fn constant_folding_div_mod_log() {
-        assert_eq!(
-            LinExpr::constant(17).divide(&LinExpr::constant(4)).as_constant(),
-            Some(4)
-        );
+        assert_eq!(LinExpr::constant(17).divide(&LinExpr::constant(4)).as_constant(), Some(4));
         assert_eq!(LinExpr::constant(17).modulo(&LinExpr::constant(4)).as_constant(), Some(1));
         assert_eq!(LinExpr::constant(16).log2().as_constant(), Some(4));
         assert_eq!(LinExpr::constant(17).log2().as_constant(), Some(5));

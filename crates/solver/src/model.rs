@@ -91,8 +91,7 @@ impl Model {
 
 impl fmt::Display for Model {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.values.iter().map(|(t, v)| format!("{t} = {v}")).collect();
+        let parts: Vec<String> = self.values.iter().map(|(t, v)| format!("{t} = {v}")).collect();
         write!(f, "{}", parts.join(", "))
     }
 }

@@ -11,7 +11,12 @@ use crate::model::Model;
 use std::fmt;
 
 /// A boolean predicate over linear expressions.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The `Ord` derive gives predicates an arbitrary-but-stable total order; the
+/// solver sorts fact sets into that order to canonicalize its query-cache
+/// keys, so structurally equal queries hit the cache regardless of the order
+/// facts were assumed in.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Pred {
     /// The trivially true predicate.
     True,
@@ -162,23 +167,45 @@ impl Pred {
                     Some(out)
                 }
                 Pred::And(ps) => {
+                    // Literal conjuncts are common to every cube; collecting
+                    // them once and prepending at the end avoids re-cloning
+                    // them through every cross-product step (the conjunction
+                    // of N literals would otherwise cost O(N²) clones).
+                    let mut base: Vec<Pred> = Vec::new();
                     let mut cubes: Vec<Vec<Pred>> = vec![vec![]];
                     for sub in ps {
-                        let sub_cubes = go(sub, max)?;
-                        let mut next = Vec::new();
-                        for cube in &cubes {
-                            for sc in &sub_cubes {
-                                let mut merged = cube.clone();
-                                merged.extend(sc.iter().cloned());
-                                next.push(merged);
-                                if next.len() > max {
-                                    return None;
+                        match sub {
+                            Pred::True => {}
+                            Pred::False => return Some(vec![]),
+                            Pred::Le(_) | Pred::Eq(_) => base.push(sub.clone()),
+                            _ => {
+                                let sub_cubes = go(sub, max)?;
+                                let mut next =
+                                    Vec::with_capacity(cubes.len() * sub_cubes.len().max(1));
+                                for cube in &cubes {
+                                    for sc in &sub_cubes {
+                                        let mut merged = cube.clone();
+                                        merged.extend(sc.iter().cloned());
+                                        next.push(merged);
+                                        if next.len() > max {
+                                            return None;
+                                        }
+                                    }
                                 }
+                                cubes = next;
                             }
                         }
-                        cubes = next;
                     }
-                    Some(cubes)
+                    Some(
+                        cubes
+                            .into_iter()
+                            .map(|cube| {
+                                let mut merged = base.clone();
+                                merged.extend(cube);
+                                merged
+                            })
+                            .collect(),
+                    )
                 }
             }
         }

@@ -17,10 +17,12 @@
 //!    [`Outcome::Unknown`] (the type checker reports "cannot prove" and
 //!    points the user at `assume`).
 
+use crate::alpha;
 use crate::expr::{funcs, LinExpr, Term};
 use crate::model::Model;
 use crate::pred::Pred;
-use std::collections::{BTreeMap, BTreeSet};
+use crate::slice;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Result of a [`Solver::prove`] query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,7 +42,7 @@ impl Outcome {
     }
 }
 
-/// Tunable resource limits for the solver.
+/// Tunable resource limits and feature toggles for the solver.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
     /// Maximum number of DNF cubes to expand before giving up.
@@ -55,6 +57,23 @@ pub struct SolverConfig {
     pub enum_domain_max: i64,
     /// Maximum number of assignments tried during counterexample search.
     pub max_enum_assignments: usize,
+    /// Restrict each query to the facts transitively connected to the goal
+    /// (see [`crate::slice`]); the disconnected residue is only consulted
+    /// through a cached consistency check.
+    pub slicing: bool,
+    /// Memoize query outcomes on a canonical (sorted sliced facts, goal) key.
+    pub caching: bool,
+    /// Optional second-level cache shared across solvers. Entries are
+    /// self-contained (predicates rather than solver-local fact ids), so
+    /// components — and entire programs checked one after another — reuse
+    /// each other's decisions. `None` by default: sharing a cache between
+    /// concurrently-running components would make per-component hit/miss
+    /// statistics depend on thread scheduling.
+    pub shared_cache: Option<SharedCache>,
+    /// Base step bound for equality elimination inside a cube; the effective
+    /// bound also scales with the cube size so large-but-honest cubes are not
+    /// cut off.
+    pub eq_elim_guard: usize,
 }
 
 impl Default for SolverConfig {
@@ -66,7 +85,19 @@ impl Default for SolverConfig {
             max_enum_atoms: 6,
             enum_domain_max: 9,
             max_enum_assignments: 400_000,
+            slicing: true,
+            caching: true,
+            shared_cache: None,
+            eq_elim_guard: 256,
         }
+    }
+}
+
+impl SolverConfig {
+    /// The pre-optimization configuration: no slicing, no caching. Used by
+    /// the benchmark harness as the A/B baseline.
+    pub fn naive() -> SolverConfig {
+        SolverConfig { slicing: false, caching: false, ..SolverConfig::default() }
     }
 }
 
@@ -84,25 +115,217 @@ pub struct SolverStats {
     pub unknown: usize,
     /// Total cubes examined.
     pub cubes: usize,
+    /// Queries answered from the memoization cache.
+    pub cache_hits: usize,
+    /// Queries that ran the full decision pipeline.
+    pub cache_misses: usize,
+    /// Facts dropped by the relevance slicer, summed over all queries.
+    pub facts_sliced_out: usize,
+    /// Cubes abandoned because equality elimination hit its step bound.
+    pub eq_guard_bailouts: usize,
+    /// Inequality pairs combined during Fourier–Motzkin elimination.
+    pub fm_combines: usize,
+    /// Assignments tried during bounded counterexample search.
+    pub enum_assignments: usize,
 }
 
-/// A constraint-solving context: a set of facts plus resource limits.
+impl SolverStats {
+    /// Field-wise sum of two stat records (used to aggregate per-component
+    /// checker stats into a program-level total).
+    pub fn merged(self, other: SolverStats) -> SolverStats {
+        SolverStats {
+            queries: self.queries + other.queries,
+            proved: self.proved + other.proved,
+            disproved: self.disproved + other.disproved,
+            unknown: self.unknown + other.unknown,
+            cubes: self.cubes + other.cubes,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            facts_sliced_out: self.facts_sliced_out + other.facts_sliced_out,
+            eq_guard_bailouts: self.eq_guard_bailouts + other.eq_guard_bailouts,
+            fm_combines: self.fm_combines + other.fm_combines,
+            enum_assignments: self.enum_assignments + other.enum_assignments,
+        }
+    }
+
+    /// Cache hit rate in `0.0..=1.0` (zero when no queries were issued).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fact log: an append-only assumption arena with O(1) snapshots.
+// ---------------------------------------------------------------------------
+
+/// A snapshot of the solver's assumption scope. Marks stay valid for the
+/// lifetime of the solver — leaving a scope with [`Solver::reset_to`] moves
+/// the head pointer without destroying the facts it leaves behind, so clients
+/// (like the type checker's write-conflict pass) can record a mark per event
+/// and replay any past scope later without cloning fact vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FactMark(Option<u32>);
+
+#[derive(Clone, Copy, Debug)]
+struct FactNode {
+    /// Index into the content-interned fact table.
+    fact_id: u32,
+    parent: Option<u32>,
+}
+
+/// Append-only arena of assumed facts forming a tree of scopes; the `head`
+/// identifies the current scope as a chain of parent links.
+///
+/// Fact *content* is interned: structurally equal predicates share one
+/// `fact_id`, and each unique fact's atom set is computed once and stored as
+/// sorted atom ids. This turns the per-query slicing and cache-key work into
+/// integer-set operations instead of deep `Pred`/`Term` traversals.
+#[derive(Clone, Debug, Default)]
+struct FactLog {
+    nodes: Vec<FactNode>,
+    head: Option<u32>,
+    /// fact_id → predicate.
+    preds: Vec<Pred>,
+    /// fact_id → sorted atom ids mentioned by the predicate.
+    fact_atoms: Vec<Vec<u32>>,
+    /// fact_id → renaming-invariant hash of the predicate.
+    fact_hashes: Vec<u64>,
+    fact_ids: HashMap<Pred, u32>,
+    atom_ids: HashMap<Term, u32>,
+}
+
+impl FactLog {
+    fn intern_atom(&mut self, term: Term) -> u32 {
+        let next = self.atom_ids.len() as u32;
+        *self.atom_ids.entry(term).or_insert(next)
+    }
+
+    fn intern_fact(&mut self, pred: Pred) -> u32 {
+        if let Some(&id) = self.fact_ids.get(&pred) {
+            return id;
+        }
+        let mut atom_list: Vec<u32> =
+            slice::atoms_of(&pred).into_iter().map(|t| self.intern_atom(t)).collect();
+        atom_list.sort_unstable();
+        atom_list.dedup();
+        let id = self.preds.len() as u32;
+        self.fact_hashes.push(alpha::fact_hash(&pred));
+        self.preds.push(pred.clone());
+        self.fact_atoms.push(atom_list);
+        self.fact_ids.insert(pred, id);
+        id
+    }
+
+    fn push(&mut self, pred: Pred) {
+        let fact_id = self.intern_fact(pred);
+        self.nodes.push(FactNode { fact_id, parent: self.head });
+        self.head = Some(self.nodes.len() as u32 - 1);
+    }
+
+    /// Fact ids along the chain ending at `head`, oldest first (may contain
+    /// duplicates if the same fact was assumed in nested scopes).
+    fn chain_from(&self, head: Option<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cursor = head;
+        while let Some(idx) = cursor {
+            out.push(self.nodes[idx as usize].fact_id);
+            cursor = self.nodes[idx as usize].parent;
+        }
+        out.reverse();
+        out
+    }
+
+    fn pred(&self, fact_id: u32) -> &Pred {
+        &self.preds[fact_id as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The solver proper.
+// ---------------------------------------------------------------------------
+
+/// One memoized query: the representative's sliced fact ids (sorted — id
+/// order follows assumption order), its goal, and the decided outcome.
+/// Lookups match candidates against the representative up to an injective
+/// renaming of symbols, so obligations that differ only in uniquified loop
+/// variables or instance names share one entry.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    fact_ids: Vec<u32>,
+    goal: Pred,
+    outcome: Outcome,
+}
+
+/// A self-contained cache entry usable outside the owning solver's fact-id
+/// space.
+#[derive(Clone, Debug)]
+struct SharedEntry {
+    facts: std::sync::Arc<Vec<Pred>>,
+    goal: Pred,
+    outcome: Outcome,
+}
+
+/// A query cache that can be handed to many solvers (see
+/// [`SolverConfig::shared_cache`]): cheap to clone, synchronized internally.
+/// Production checkers keep one alive across whole programs so repeated
+/// library components hit instead of re-deriving.
+#[derive(Clone, Debug, Default)]
+pub struct SharedCache {
+    entries: std::sync::Arc<std::sync::Mutex<HashMap<u64, Vec<SharedEntry>>>>,
+}
+
+impl SharedCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> SharedCache {
+        SharedCache::default()
+    }
+
+    /// Number of memoized queries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("shared cache poisoned").values().map(Vec::len).sum()
+    }
+
+    /// True if no queries are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A constraint-solving context: a scoped fact log, resource limits, and the
+/// query memoization cache (bucketed by renaming-invariant hash).
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
-    facts: Vec<Pred>,
+    facts: FactLog,
     config: SolverConfig,
     stats: SolverStats,
+    query_cache: HashMap<u64, Vec<CacheEntry>>,
+    consistency_cache: HashMap<Vec<u32>, bool>,
+    residual_cache: HashMap<Vec<u32>, ResidualStatus>,
+    /// Reusable atom-mark scratch for the per-query slicing passes.
+    scratch_mask: slice::EpochMask,
 }
 
 impl Solver {
     /// Creates a solver with default limits and no facts.
     pub fn new() -> Solver {
-        Solver { facts: Vec::new(), config: SolverConfig::default(), stats: SolverStats::default() }
+        Solver::with_config(SolverConfig::default())
     }
 
     /// Creates a solver with custom limits.
     pub fn with_config(config: SolverConfig) -> Solver {
-        Solver { facts: Vec::new(), config, stats: SolverStats::default() }
+        Solver {
+            facts: FactLog::default(),
+            config,
+            stats: SolverStats::default(),
+            query_cache: HashMap::new(),
+            consistency_cache: HashMap::new(),
+            residual_cache: HashMap::new(),
+            scratch_mask: slice::EpochMask::default(),
+        }
     }
 
     /// Adds a fact the solver may use in subsequent queries.
@@ -112,9 +335,14 @@ impl Solver {
         }
     }
 
-    /// The facts assumed so far.
-    pub fn facts(&self) -> &[Pred] {
-        &self.facts
+    /// The facts in the current scope, oldest first.
+    pub fn facts_iter(&self) -> impl Iterator<Item = &Pred> {
+        self.facts.chain_from(self.facts.head).into_iter().map(|id| self.facts.pred(id))
+    }
+
+    /// Number of facts in the current scope.
+    pub fn facts_len(&self) -> usize {
+        self.facts.chain_from(self.facts.head).len()
     }
 
     /// Query statistics accumulated so far.
@@ -122,25 +350,148 @@ impl Solver {
         self.stats
     }
 
-    /// Number of facts assumed (used to implement scoped assumption stacks).
-    pub fn mark(&self) -> usize {
-        self.facts.len()
+    /// Snapshots the current assumption scope. The mark stays valid even
+    /// after [`Solver::reset_to`]; see [`FactMark`].
+    pub fn mark(&self) -> FactMark {
+        FactMark(self.facts.head)
     }
 
-    /// Drops facts assumed after `mark`, restoring an earlier scope.
-    pub fn reset_to(&mut self, mark: usize) {
-        self.facts.truncate(mark);
+    /// Restores an earlier scope. Facts assumed since `mark` become
+    /// invisible to subsequent queries but remain addressable through marks
+    /// taken while they were live.
+    pub fn reset_to(&mut self, mark: FactMark) {
+        self.facts.head = mark.0;
     }
 
-    /// Attempts to prove `goal` from the assumed facts.
+    /// Attempts to prove `goal` from the facts in the current scope.
     pub fn prove(&mut self, goal: &Pred) -> Outcome {
+        self.prove_at(self.facts.head, goal)
+    }
+
+    /// Attempts to prove `goal` from the scope recorded by `mark`, extended
+    /// with `extra` facts. The current scope is untouched. This is the
+    /// indexed-scope replacement for cloning fact vectors into throwaway
+    /// solvers: the base facts are shared structurally and only `extra` is
+    /// materialized.
+    pub fn prove_under(&mut self, mark: FactMark, extra: &[Pred], goal: &Pred) -> Outcome {
+        let saved_head = self.facts.head;
+        let saved_len = self.facts.nodes.len();
+        self.facts.head = mark.0;
+        for f in extra {
+            self.assume(f.clone());
+        }
+        let outcome = self.prove_at(self.facts.head, goal);
+        self.facts.nodes.truncate(saved_len);
+        self.facts.head = saved_head;
+        outcome
+    }
+
+    /// Like [`Solver::facts_consistent`], but for the scope recorded by
+    /// `mark` extended with `extra` facts.
+    pub fn consistent_under(&mut self, mark: FactMark, extra: &[Pred]) -> bool {
+        let saved_head = self.facts.head;
+        let saved_len = self.facts.nodes.len();
+        self.facts.head = mark.0;
+        for f in extra {
+            self.assume(f.clone());
+        }
+        let consistent = self.facts_consistent();
+        self.facts.nodes.truncate(saved_len);
+        self.facts.head = saved_head;
+        consistent
+    }
+
+    /// The facts recorded at `mark`, oldest first (cloned).
+    pub fn facts_at(&self, mark: FactMark) -> Vec<Pred> {
+        self.facts.chain_from(mark.0).into_iter().map(|id| self.facts.pred(id).clone()).collect()
+    }
+
+    fn prove_at(&mut self, head: Option<u32>, goal: &Pred) -> Outcome {
         self.stats.queries += 1;
-        let formula = Pred::and(self.facts.iter().cloned().chain([goal.clone().negate()]));
-        let outcome = match self.check_sat(&formula) {
-            SatResult::Unsat => Outcome::Proved,
-            SatResult::Sat(model) => Outcome::Disproved(model),
-            SatResult::Unknown => Outcome::Unknown,
+        let mut chain = self.facts.chain_from(head);
+        chain.sort_unstable();
+        chain.dedup();
+
+        // 1. Relevance slicing: keep only facts connected to the goal, and
+        // additionally note which of those touch a goal atom *directly* (the
+        // one-hop neighbourhood used by the tiered fast path below).
+        let (sliced, residual, tier1) = if self.config.slicing {
+            let facts = &self.facts;
+            let mask = &mut self.scratch_mask;
+            let goal_atoms: Vec<u32> = slice::atoms_of(goal)
+                .iter()
+                .filter_map(|t| facts.atom_ids.get(t).copied())
+                .collect();
+            let atom_sets: Vec<&[u32]> =
+                chain.iter().map(|&id| facts.fact_atoms[id as usize].as_slice()).collect();
+            // One-hop neighbourhood first: `partition` reuses the same mask
+            // afterwards (fresh epoch), so mark goal atoms, filter, then run
+            // the transitive closure.
+            mask.begin(facts.atom_ids.len());
+            for &a in &goal_atoms {
+                mask.set(a);
+            }
+            let tier1: Vec<u32> = chain
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let atoms = &facts.fact_atoms[id as usize];
+                    atoms.is_empty() || atoms.iter().any(|&a| mask.get(a))
+                })
+                .collect();
+            let (keep, drop) =
+                slice::partition(&atom_sets, &goal_atoms, facts.atom_ids.len(), mask);
+            (
+                keep.into_iter().map(|k| chain[k]).collect::<Vec<_>>(),
+                drop.into_iter().map(|k| chain[k]).collect::<Vec<_>>(),
+                tier1,
+            )
+        } else {
+            (chain, Vec::new(), Vec::new())
         };
+        self.stats.facts_sliced_out += residual.len();
+
+        // 2. Tiered, memoized decision of the sliced query.
+        //
+        // Proving is monotone in the fact set: if a subset proves the goal,
+        // the full set does too. Most obligations are provable from the
+        // facts that mention a goal atom directly, and that one-hop set is
+        // often far smaller than the full transitive closure (a shared width
+        // parameter connects nearly everything). So: try the one-hop set
+        // first and accept only `Proved` from it; anything else escalates to
+        // the full sliced set, whose verdict is exact.
+        let sliced_outcome = if self.config.slicing && tier1.len() < sliced.len() {
+            let first = self.cached_decide(tier1, goal);
+            if first.is_proved() {
+                first
+            } else {
+                self.cached_decide(sliced, goal)
+            }
+        } else {
+            self.cached_decide(sliced, goal)
+        };
+
+        // 3. Residual rescue: the residual shares no atoms with the sliced
+        // query, so the only ways it can change the answer are by being
+        // unsatisfiable on its own (anything is provable from contradictory
+        // facts) or by being *undecidable* — a `Disproved` model for the
+        // sliced query only extends to a model of the full query if the
+        // residual verifiably has one, so an undecided residual degrades a
+        // counterexample to `Unknown` rather than fabricating one. The
+        // status check is goal-independent and caches extremely well.
+        let outcome = if !sliced_outcome.is_proved() && !residual.is_empty() {
+            match self.residual_status(residual) {
+                ResidualStatus::Unsat => Outcome::Proved,
+                ResidualStatus::Sat => sliced_outcome,
+                ResidualStatus::Unknown => match sliced_outcome {
+                    Outcome::Disproved(_) => Outcome::Unknown,
+                    other => other,
+                },
+            }
+        } else {
+            sliced_outcome
+        };
+
         match &outcome {
             Outcome::Proved => self.stats.proved += 1,
             Outcome::Disproved(_) => self.stats.disproved += 1,
@@ -149,13 +500,263 @@ impl Solver {
         outcome
     }
 
-    /// Checks whether the assumed facts are mutually consistent.
+    /// Decides `facts ⊢ goal` through the alpha-invariant memoization cache
+    /// (when enabled). The cache is keyed on a renaming-invariant hash and
+    /// matched up to a symbol bijection, so the near-identical obligations
+    /// produced by loops and repeated invocations (which differ only in
+    /// uniquified variable names) share one entry; a `Disproved` model is
+    /// transported back through the bijection into the query's own symbols.
+    /// Fact-id order follows assumption order, which lines up between
+    /// structurally parallel scopes, making the pairwise match well-defined.
+    fn cached_decide(&mut self, fact_ids: Vec<u32>, goal: &Pred) -> Outcome {
+        if !self.config.caching {
+            self.stats.cache_misses += 1;
+            return self.decide(&fact_ids, goal);
+        }
+        let hash = {
+            let facts = &self.facts;
+            let mut state = std::collections::hash_map::DefaultHasher::new();
+            alpha::query_hash(
+                fact_ids.iter().map(|&id| facts.fact_hashes[id as usize]),
+                goal,
+                &mut state,
+            );
+            std::hash::Hasher::finish(&state)
+        };
+        let cached = {
+            let facts = &self.facts;
+            self.query_cache.get(&hash).and_then(|entries| {
+                entries.iter().find_map(|entry| {
+                    if entry.fact_ids.len() != fact_ids.len() {
+                        return None;
+                    }
+                    // Identical query (same interned facts, same goal):
+                    // reuse verbatim, no bijection needed.
+                    if entry.fact_ids == fact_ids && entry.goal == *goal {
+                        return Some(entry.outcome.clone());
+                    }
+                    let map = alpha::alpha_match(
+                        entry.fact_ids.iter().map(|&id| facts.pred(id)),
+                        &entry.goal,
+                        fact_ids.iter().map(|&id| facts.pred(id)),
+                        goal,
+                    )?;
+                    alpha::rename_outcome(&entry.outcome, &map)
+                })
+            })
+        };
+        if let Some(outcome) = cached {
+            self.stats.cache_hits += 1;
+            return outcome;
+        }
+        // Second level: the cross-solver shared cache, if configured.
+        let shared = self.config.shared_cache.clone();
+        if let Some(shared) = &shared {
+            let shared_hit = {
+                let facts = &self.facts;
+                let entries = shared.entries.lock().expect("shared cache poisoned");
+                entries.get(&hash).and_then(|bucket| {
+                    bucket.iter().find_map(|entry| {
+                        if entry.facts.len() != fact_ids.len() {
+                            return None;
+                        }
+                        let map = alpha::alpha_match(
+                            entry.facts.iter(),
+                            &entry.goal,
+                            fact_ids.iter().map(|&id| facts.pred(id)),
+                            goal,
+                        )?;
+                        alpha::rename_outcome(&entry.outcome, &map)
+                    })
+                })
+            };
+            if let Some(outcome) = shared_hit {
+                self.stats.cache_hits += 1;
+                // Promote into the local cache so later queries skip the lock.
+                self.record_local(hash, fact_ids, goal, &outcome);
+                return outcome;
+            }
+        }
+        // Full miss: decide and record in every configured cache level.
+        self.stats.cache_misses += 1;
+        let outcome = self.decide(&fact_ids, goal);
+        if let Some(shared) = &shared {
+            let fact_preds: Vec<Pred> =
+                fact_ids.iter().map(|&id| self.facts.pred(id).clone()).collect();
+            shared.entries.lock().expect("shared cache poisoned").entry(hash).or_default().push(
+                SharedEntry {
+                    facts: std::sync::Arc::new(fact_preds),
+                    goal: goal.clone(),
+                    outcome: outcome.clone(),
+                },
+            );
+        }
+        self.record_local(hash, fact_ids, goal, &outcome);
+        outcome
+    }
+
+    /// Inserts one entry into the solver-local query cache.
+    fn record_local(&mut self, hash: u64, fact_ids: Vec<u32>, goal: &Pred, outcome: &Outcome) {
+        self.query_cache.entry(hash).or_default().push(CacheEntry {
+            fact_ids,
+            goal: goal.clone(),
+            outcome: outcome.clone(),
+        });
+    }
+
+    /// Decides `facts ⊢ goal` by refutation (no slicing, no caching). The
+    /// fact predicates are sorted before conjunction so the decision is
+    /// independent of assumption order (and of fact-id assignment order,
+    /// which differs between solver instances).
+    fn decide(&mut self, fact_ids: &[u32], goal: &Pred) -> Outcome {
+        // Fast path: when every fact is already a literal (the common case —
+        // path conditions and interval bounds are single comparisons), the
+        // DNF of `facts ∧ ¬goal` is just the fact literals prepended to each
+        // cube of `¬goal`'s DNF. Building the cubes directly skips three
+        // whole-formula copies (conjunction, NNF, distribution); `cube_sat`
+        // canonicalizes cubes either way, so the verdict is byte-identical
+        // to the general path.
+        let all_literals =
+            fact_ids.iter().all(|&id| matches!(self.facts.pred(id), Pred::Le(_) | Pred::Eq(_)));
+        if all_literals {
+            let negated = goal.clone().negate().to_nnf();
+            let Some(goal_cubes) = negated.to_dnf(self.config.max_cubes) else {
+                return Outcome::Unknown;
+            };
+            if goal_cubes.is_empty() {
+                return Outcome::Proved;
+            }
+            let mut base: Vec<Pred> =
+                fact_ids.iter().map(|&id| self.facts.pred(id).clone()).collect();
+            base.sort();
+            base.dedup();
+            let mut any_unknown = false;
+            for goal_cube in goal_cubes {
+                self.stats.cubes += 1;
+                let mut cube = base.clone();
+                cube.extend(goal_cube);
+                match self.cube_sat(&cube, true) {
+                    SatResult::Unsat => continue,
+                    SatResult::Sat(model) => return Outcome::Disproved(model),
+                    SatResult::Unknown => any_unknown = true,
+                }
+            }
+            return if any_unknown { Outcome::Unknown } else { Outcome::Proved };
+        }
+        let mut facts: Vec<Pred> = fact_ids.iter().map(|&id| self.facts.pred(id).clone()).collect();
+        facts.sort();
+        let formula = Pred::and(facts.into_iter().chain([goal.clone().negate()]));
+        match self.check_sat(&formula) {
+            SatResult::Unsat => Outcome::Proved,
+            SatResult::Sat(model) => Outcome::Disproved(model),
+            SatResult::Unknown => Outcome::Unknown,
+        }
+    }
+
+    /// Checks whether the facts in the current scope are mutually
+    /// consistent.
     ///
     /// Returns `false` only when the facts are definitely contradictory;
     /// inconclusive answers are treated as consistent.
     pub fn facts_consistent(&mut self) -> bool {
-        let formula = Pred::and(self.facts.iter().cloned());
-        !matches!(self.check_sat_internal(&formula, false), SatResult::Unsat)
+        let mut ids = self.facts.chain_from(self.facts.head);
+        ids.sort_unstable();
+        ids.dedup();
+        !self.set_inconsistent(ids)
+    }
+
+    /// Memoized unsatisfiability check of a canonical (sorted) fact-id set.
+    ///
+    /// With slicing enabled the set is first decomposed into connected
+    /// components: a conjunction of atom-disjoint groups is unsatisfiable
+    /// iff some group is, each group's cube is much smaller, and the
+    /// per-group verdicts memoize across the many consistency queries that
+    /// differ only in one group (e.g. branch path conditions).
+    fn set_inconsistent(&mut self, sorted_ids: Vec<u32>) -> bool {
+        if !self.config.slicing {
+            return self.component_inconsistent(sorted_ids);
+        }
+        let atom_sets: Vec<&[u32]> =
+            sorted_ids.iter().map(|&id| self.facts.fact_atoms[id as usize].as_slice()).collect();
+        let groups = slice::components(&atom_sets, self.facts.atom_ids.len());
+        if groups.len() <= 1 {
+            return self.component_inconsistent(sorted_ids);
+        }
+        let mut inconsistent = false;
+        for group in groups {
+            let ids: Vec<u32> = group.into_iter().map(|k| sorted_ids[k]).collect();
+            if self.component_inconsistent(ids) {
+                inconsistent = true;
+                // Keep going: callers may retry subsets, and warming the
+                // cache for every group is nearly free compared to a rerun.
+            }
+        }
+        inconsistent
+    }
+
+    /// Three-valued satisfiability of a residual fact set: `Unsat` rescues
+    /// the query as vacuously proved, `Sat` certifies that a sliced
+    /// counterexample extends to the full fact set, and `Unknown` means
+    /// neither — callers must not present a counterexample then.
+    fn residual_status(&mut self, sorted_ids: Vec<u32>) -> ResidualStatus {
+        let atom_sets: Vec<&[u32]> =
+            sorted_ids.iter().map(|&id| self.facts.fact_atoms[id as usize].as_slice()).collect();
+        let groups = slice::components(&atom_sets, self.facts.atom_ids.len());
+        let mut all_sat = true;
+        for group in groups {
+            let ids: Vec<u32> = group.into_iter().map(|k| sorted_ids[k]).collect();
+            match self.component_status(ids) {
+                ResidualStatus::Unsat => return ResidualStatus::Unsat,
+                ResidualStatus::Sat => {}
+                ResidualStatus::Unknown => all_sat = false,
+            }
+        }
+        if all_sat {
+            ResidualStatus::Sat
+        } else {
+            ResidualStatus::Unknown
+        }
+    }
+
+    /// Memoized three-valued satisfiability of one atom-connected fact
+    /// group. Unlike [`Solver::component_inconsistent`] this runs the model
+    /// search, so `Sat` means an integer model was actually found.
+    fn component_status(&mut self, sorted_ids: Vec<u32>) -> ResidualStatus {
+        if self.config.caching {
+            if let Some(&answer) = self.residual_cache.get(&sorted_ids) {
+                return answer;
+            }
+        }
+        let mut facts: Vec<Pred> =
+            sorted_ids.iter().map(|&id| self.facts.pred(id).clone()).collect();
+        facts.sort();
+        let formula = Pred::and(facts);
+        let status = match self.check_sat_internal(&formula, true) {
+            SatResult::Unsat => ResidualStatus::Unsat,
+            SatResult::Sat(_) => ResidualStatus::Sat,
+            SatResult::Unknown => ResidualStatus::Unknown,
+        };
+        if self.config.caching {
+            self.residual_cache.insert(sorted_ids, status);
+        }
+        status
+    }
+
+    fn component_inconsistent(&mut self, sorted_ids: Vec<u32>) -> bool {
+        if self.config.caching {
+            if let Some(&answer) = self.consistency_cache.get(&sorted_ids) {
+                return answer;
+            }
+        }
+        let mut facts: Vec<Pred> =
+            sorted_ids.iter().map(|&id| self.facts.pred(id).clone()).collect();
+        facts.sort();
+        let formula = Pred::and(facts);
+        let unsat = matches!(self.check_sat_internal(&formula, false), SatResult::Unsat);
+        if self.config.caching {
+            self.consistency_cache.insert(sorted_ids, unsat);
+        }
+        unsat
     }
 
     fn check_sat(&mut self, formula: &Pred) -> SatResult {
@@ -186,7 +787,16 @@ impl Solver {
     }
 
     /// Satisfiability of a conjunction of `Le`/`Eq` literals.
-    fn cube_sat(&self, cube: &[Pred], want_model: bool) -> SatResult {
+    fn cube_sat(&mut self, cube: &[Pred], want_model: bool) -> SatResult {
+        // 0. Canonicalize: sort and deduplicate the literals. Duplicate
+        // facts reach a cube through nested scopes and repeated obligations;
+        // every literal removed here is one less operand for all eight
+        // saturation rounds.
+        let mut cube: Vec<Pred> = cube.to_vec();
+        cube.sort();
+        cube.dedup();
+        let cube = &cube[..];
+
         // 1. Saturation.
         let saturated = match saturate(cube) {
             Some(lits) => lits,
@@ -213,12 +823,16 @@ impl Solver {
         }
 
         // 3. Eliminate equalities by substitution where a unit coefficient
-        // exists; the rest become paired inequalities.
+        // exists; the rest become paired inequalities. The step bound scales
+        // with the cube so legitimately large cubes are not cut off, and a
+        // bailout is counted instead of vanishing silently.
+        let guard_limit = self.config.eq_elim_guard.max(4 * cube.len());
         let mut pending = equalities;
         let mut guard = 0;
         while let Some(eq) = pending.pop() {
             guard += 1;
-            if guard > 256 {
+            if guard > guard_limit {
+                self.stats.eq_guard_bailouts += 1;
                 return SatResult::Unknown;
             }
             match eq.as_constant() {
@@ -246,7 +860,7 @@ impl Solver {
         }
 
         // 4. Fourier–Motzkin elimination over the rationals.
-        match fourier_motzkin(&rows, &self.config) {
+        match fourier_motzkin(&rows, &self.config, &mut self.stats.fm_combines) {
             FmResult::Infeasible => return SatResult::Unsat,
             FmResult::Feasible => {}
             FmResult::Unknown => return SatResult::Unknown,
@@ -258,11 +872,19 @@ impl Solver {
         }
 
         // 5. Bounded integer model search on the saturated literals.
-        match find_model(&saturated, &self.config) {
+        match find_model(&saturated, &self.config, &mut self.stats.enum_assignments) {
             Some(model) => SatResult::Sat(model),
             None => SatResult::Unknown,
         }
     }
+}
+
+/// Three-valued verdict for residual fact groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ResidualStatus {
+    Unsat,
+    Sat,
+    Unknown,
 }
 
 #[derive(Debug)]
@@ -279,7 +901,7 @@ enum SatResult {
 /// Rewrites a cube of literals to a saturated form, or returns `None` if a
 /// contradiction is detected syntactically (e.g. `3 == 0` after folding).
 fn saturate(cube: &[Pred]) -> Option<Vec<Pred>> {
-    let mut lits: Vec<Pred> = cube.iter().map(|p| fold_pred(p)).collect();
+    let mut lits: Vec<Pred> = cube.iter().map(fold_pred).collect();
     for _round in 0..8 {
         // Build a substitution from equalities of the form `t == constant`
         // or `t == u` (unit coefficients).
@@ -302,25 +924,32 @@ fn saturate(cube: &[Pred]) -> Option<Vec<Pred>> {
             }
         }
         // exp2/log2 inverse rewrites: exp2(log2(x)) -> x, log2(exp2(x)) -> x.
+        // The term collection clones deeply, so only run it when some
+        // literal actually mentions one of the two functions.
         let mut all_terms = Vec::new();
-        for lit in &lits {
-            match lit {
-                Pred::Eq(e) | Pred::Le(e) => e.collect_terms(&mut all_terms),
-                _ => {}
+        let scan_inverses = lits.iter().any(|lit| match lit {
+            Pred::Eq(e) | Pred::Le(e) => has_exp_or_log(e),
+            _ => false,
+        });
+        if scan_inverses {
+            for lit in &lits {
+                match lit {
+                    Pred::Eq(e) | Pred::Le(e) => e.collect_terms(&mut all_terms),
+                    _ => {}
+                }
             }
         }
         for t in &all_terms {
             if let Term::App { func, args } = t {
                 if func.as_str() == funcs::EXP2 || func.as_str() == funcs::LOG2 {
-                    if let Some(inner) = args[0].as_single_term() {
-                        if let Term::App { func: inner_f, args: inner_args } = inner {
-                            let is_inverse = (func.as_str() == funcs::EXP2
-                                && inner_f.as_str() == funcs::LOG2)
-                                || (func.as_str() == funcs::LOG2
-                                    && inner_f.as_str() == funcs::EXP2);
-                            if is_inverse {
-                                subst.entry(t.clone()).or_insert(inner_args[0].clone());
-                            }
+                    if let Some(Term::App { func: inner_f, args: inner_args }) =
+                        args[0].as_single_term()
+                    {
+                        let is_inverse = (func.as_str() == funcs::EXP2
+                            && inner_f.as_str() == funcs::LOG2)
+                            || (func.as_str() == funcs::LOG2 && inner_f.as_str() == funcs::EXP2);
+                        if is_inverse {
+                            subst.entry(t.clone()).or_insert(inner_args[0].clone());
                         }
                     }
                 }
@@ -328,18 +957,46 @@ fn saturate(cube: &[Pred]) -> Option<Vec<Pred>> {
         }
         // Congruence closure over uninterpreted applications: after applying
         // the substitution, merge applications with identical arguments.
-        let apply = |e: &LinExpr| -> LinExpr {
+        //
+        // Substitution entries are gated on a single pre-scan of each
+        // literal: one walk collects which substitution targets occur at
+        // all, and only those entries are applied (in map order, against the
+        // evolving expression, so chained entries still compose). Literals
+        // untouched by every entry are reused as-is — no rebuild, no refold;
+        // they were folded on entry to `saturate`. Targets *introduced* by an
+        // applied entry within the same round are picked up by the next
+        // round (the loop runs to a fixpoint either way).
+        let mut changed = false;
+        let apply = |e: &LinExpr, changed: &mut bool| -> Option<LinExpr> {
+            let mut occurring: Vec<&Term> = Vec::new();
+            e.for_each_term(&mut |t| {
+                if subst.contains_key(t) && !occurring.contains(&t) {
+                    occurring.push(t);
+                }
+            });
+            if occurring.is_empty() {
+                return None;
+            }
             let mut out = e.clone();
             for (t, r) in &subst {
-                out = out.substitute(t, r);
+                if occurring.contains(&t) {
+                    out = out.substitute(t, r);
+                }
             }
-            fold_expr(&out)
+            *changed = true;
+            Some(fold_expr(&out))
         };
         let new_lits: Vec<Pred> = lits
             .iter()
             .map(|lit| match lit {
-                Pred::Eq(e) => Pred::Eq(apply(e)),
-                Pred::Le(e) => Pred::Le(apply(e)),
+                Pred::Eq(e) => match apply(e, &mut changed) {
+                    Some(e2) => Pred::Eq(e2),
+                    None => lit.clone(),
+                },
+                Pred::Le(e) => match apply(e, &mut changed) {
+                    Some(e2) => Pred::Le(e2),
+                    None => lit.clone(),
+                },
                 other => other.clone(),
             })
             .collect();
@@ -348,7 +1005,6 @@ fn saturate(cube: &[Pred]) -> Option<Vec<Pred>> {
         // are already merged by structural equality — nothing further needed
         // here because substitution canonicalized the arguments.
 
-        let changed = new_lits != lits;
         lits = new_lits;
         // Detect syntactic contradictions early.
         for lit in &lits {
@@ -374,8 +1030,13 @@ fn saturate(cube: &[Pred]) -> Option<Vec<Pred>> {
     Some(lits)
 }
 
-/// Constant-folds interpreted applications inside an expression.
+/// Constant-folds interpreted applications inside an expression. Expressions
+/// with no application terms at all (the overwhelmingly common case on the
+/// checker's affine obligations) are returned as-is without a rebuild.
 fn fold_expr(e: &LinExpr) -> LinExpr {
+    if e.terms().all(|(t, _)| matches!(t, Term::Var(_))) {
+        return e.clone();
+    }
     let mut out = LinExpr::constant(e.constant_part());
     for (term, coeff) in e.terms() {
         let folded = fold_term(term);
@@ -384,15 +1045,27 @@ fn fold_expr(e: &LinExpr) -> LinExpr {
     out
 }
 
+/// Clone-free check for `exp2`/`log2` applications anywhere in `e`; gates
+/// the inverse-rewrite scan in `saturate`, which would otherwise clone every
+/// term of every literal each round.
+fn has_exp_or_log(e: &LinExpr) -> bool {
+    e.terms().any(|(t, _)| match t {
+        Term::Var(_) => false,
+        Term::App { func, args } => {
+            func.as_str() == funcs::EXP2
+                || func.as_str() == funcs::LOG2
+                || args.iter().any(has_exp_or_log)
+        }
+    })
+}
+
 fn fold_term(t: &Term) -> LinExpr {
     match t {
         Term::Var(_) => LinExpr::from_term(t.clone(), 1),
         Term::App { func, args } => {
             let folded_args: Vec<LinExpr> = args.iter().map(fold_expr).collect();
             match func.as_str() {
-                funcs::MUL if folded_args.len() == 2 => {
-                    folded_args[0].multiply(&folded_args[1])
-                }
+                funcs::MUL if folded_args.len() == 2 => folded_args[0].multiply(&folded_args[1]),
                 funcs::DIV if folded_args.len() == 2 => folded_args[0].divide(&folded_args[1]),
                 funcs::MOD if folded_args.len() == 2 => folded_args[0].modulo(&folded_args[1]),
                 funcs::LOG2 if folded_args.len() == 1 => folded_args[0].log2(),
@@ -441,7 +1114,7 @@ enum FmResult {
 }
 
 /// Decides rational feasibility of `rows` (each row is `expr <= 0`).
-fn fourier_motzkin(rows: &[LinExpr], config: &SolverConfig) -> FmResult {
+fn fourier_motzkin(rows: &[LinExpr], config: &SolverConfig, combines: &mut usize) -> FmResult {
     // Collect the top-level terms used as variables.
     let mut vars: BTreeSet<Term> = BTreeSet::new();
     for r in rows {
@@ -476,6 +1149,7 @@ fn fourier_motzkin(rows: &[LinExpr], config: &SolverConfig) -> FmResult {
                 // up: up_c*var + up_rest <= 0 with up_c > 0
                 // Eliminate var: up_c*(-lo) >= ... combine as
                 //   up_c * lo + (-lo_c) * up <= 0
+                *combines += 1;
                 let combined = lo.scaled(up_c) + up.scaled(-lo_c);
                 match combined.as_constant() {
                     Some(c) if c > 0 => return FmResult::Infeasible,
@@ -506,7 +1180,7 @@ fn fourier_motzkin(rows: &[LinExpr], config: &SolverConfig) -> FmResult {
 
 /// Searches for a small non-negative integer assignment satisfying every
 /// literal in `lits`.
-fn find_model(lits: &[Pred], config: &SolverConfig) -> Option<Model> {
+fn find_model(lits: &[Pred], config: &SolverConfig, tried: &mut usize) -> Option<Model> {
     // Atoms to assign: every top-level term. Interpreted applications are
     // computed from their arguments, so they are excluded when all their
     // argument terms are themselves assigned.
@@ -552,7 +1226,7 @@ fn find_model(lits: &[Pred], config: &SolverConfig) -> Option<Model> {
         };
         let c = e.constant_part();
         for v in [c.abs(), c.abs() + 1, (c.abs()).saturating_sub(1)] {
-            if v >= 0 && v <= 4096 {
+            if (0..=4096).contains(&v) {
                 domain.insert(v);
             }
         }
@@ -563,9 +1237,9 @@ fn find_model(lits: &[Pred], config: &SolverConfig) -> Option<Model> {
     if total > config.max_enum_assignments as f64 {
         // Shrink: fall back to the small-naturals domain only.
         let small: Vec<i64> = (0..=config.enum_domain_max).collect();
-        return enumerate(&atoms, &small, lits, config.max_enum_assignments);
+        return enumerate(&atoms, &small, lits, config.max_enum_assignments, tried);
     }
-    enumerate(&atoms, &domain, lits, config.max_enum_assignments)
+    enumerate(&atoms, &domain, lits, config.max_enum_assignments, tried)
 }
 
 fn enumerate(
@@ -573,6 +1247,7 @@ fn enumerate(
     domain: &[i64],
     lits: &[Pred],
     max_assignments: usize,
+    total_tried: &mut usize,
 ) -> Option<Model> {
     if atoms.is_empty() {
         let m = Model::new();
@@ -583,6 +1258,7 @@ fn enumerate(
     let mut tried = 0usize;
     loop {
         tried += 1;
+        *total_tried += 1;
         if tried > max_assignments {
             return None;
         }
@@ -762,7 +1438,10 @@ mod tests {
         ]));
         assert_eq!(s.prove(&Pred::ge(var("N"), LinExpr::constant(2))), Outcome::Proved);
         assert_eq!(s.prove(&Pred::le(var("N"), LinExpr::constant(4))), Outcome::Proved);
-        assert!(matches!(s.prove(&Pred::eq(var("N"), LinExpr::constant(2))), Outcome::Disproved(_)));
+        assert!(matches!(
+            s.prove(&Pred::eq(var("N"), LinExpr::constant(2))),
+            Outcome::Disproved(_)
+        ));
     }
 
     #[test]
@@ -784,17 +1463,84 @@ mod tests {
         assert_eq!(s.prove(&Pred::ge(var("W"), LinExpr::constant(10))), Outcome::Proved);
         s.reset_to(mark);
         assert_ne!(s.prove(&Pred::ge(var("W"), LinExpr::constant(10))), Outcome::Proved);
-        assert_eq!(s.facts().len(), 1);
+        assert_eq!(s.facts_len(), 1);
+    }
+
+    #[test]
+    fn marks_survive_scope_exit() {
+        // A mark taken inside a scope can be replayed after the scope is
+        // popped — the write-conflict pass depends on this.
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("W"), LinExpr::constant(1)));
+        let outer = s.mark();
+        s.assume(Pred::ge(var("W"), LinExpr::constant(12)));
+        let inner = s.mark();
+        s.reset_to(outer);
+        // Current scope no longer proves W >= 10 ...
+        assert_ne!(s.prove(&Pred::ge(var("W"), LinExpr::constant(10))), Outcome::Proved);
+        // ... but the recorded inner scope still does.
+        assert_eq!(
+            s.prove_under(inner, &[], &Pred::ge(var("W"), LinExpr::constant(10))),
+            Outcome::Proved
+        );
+        // And extra facts extend a recorded scope without disturbing it.
+        assert_eq!(
+            s.prove_under(
+                outer,
+                &[Pred::ge(var("W"), LinExpr::constant(7))],
+                &Pred::ge(var("W"), LinExpr::constant(5))
+            ),
+            Outcome::Proved
+        );
+        assert_eq!(s.facts_len(), 1);
+    }
+
+    #[test]
+    fn query_cache_hits_on_repeated_obligations() {
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("L"), LinExpr::constant(1)));
+        let goal = Pred::ge(var("L"), LinExpr::constant(0));
+        assert_eq!(s.prove(&goal), Outcome::Proved);
+        assert_eq!(s.prove(&goal), Outcome::Proved);
+        assert_eq!(s.prove(&goal), Outcome::Proved);
+        let stats = s.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn cache_key_ignores_irrelevant_scope_changes() {
+        // The same goal under different irrelevant facts still hits: the
+        // slicer removes the unrelated facts before the cache lookup.
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("L"), LinExpr::constant(1)));
+        let goal = Pred::ge(var("L"), LinExpr::constant(0));
+        assert_eq!(s.prove(&goal), Outcome::Proved);
+        let mark = s.mark();
+        s.assume(Pred::ge(var("Other"), LinExpr::constant(3)));
+        assert_eq!(s.prove(&goal), Outcome::Proved);
+        s.reset_to(mark);
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert!(stats.facts_sliced_out >= 1);
+    }
+
+    #[test]
+    fn slicing_preserves_vacuous_truth_from_disconnected_contradictions() {
+        // Covered by `inconsistent_facts_detected` too, but spelled out: the
+        // contradiction lives entirely in the residual.
+        let mut s = Solver::new();
+        s.assume(Pred::ge(var("A"), LinExpr::constant(5)));
+        s.assume(Pred::le(var("A"), LinExpr::constant(3)));
+        assert_eq!(s.prove(&Pred::eq(var("ZZZ"), LinExpr::constant(9))), Outcome::Proved);
     }
 
     #[test]
     fn strict_and_nonstrict_bounds() {
         let mut s = Solver::new();
         s.assume(Pred::lt(var("A"), var("B")));
-        assert_eq!(
-            s.prove(&Pred::le(var("A") + LinExpr::constant(1), var("B"))),
-            Outcome::Proved
-        );
+        assert_eq!(s.prove(&Pred::le(var("A") + LinExpr::constant(1), var("B"))), Outcome::Proved);
         assert_ne!(s.prove(&Pred::lt(var("A") + LinExpr::constant(1), var("B"))), Outcome::Proved);
     }
 

@@ -1,32 +1,44 @@
-//! Property-based tests for the solver: whatever the engine *proves* must
-//! hold on random concrete assignments, and models it returns must actually
-//! satisfy / refute what they claim to.
+//! Property-style tests for the solver, driven by a deterministic PRNG
+//! (`lilac_util::rng`): whatever the engine *proves* must hold on random
+//! concrete assignments, models it returns must actually satisfy / refute
+//! what they claim to, and — the A/B contract behind the perf work — the
+//! sliced + cached pipeline must agree with a fresh naive solver on every
+//! random query.
 
-use lilac_solver::{LinExpr, Model, Outcome, Pred, Solver, Term};
-use proptest::prelude::*;
+use lilac_solver::{LinExpr, Model, Outcome, Pred, Solver, SolverConfig, Term};
+use lilac_util::rng::Rng;
 
 /// A small random affine expression over three variables.
-fn arb_expr() -> impl Strategy<Value = LinExpr> {
-    (
-        -6i64..=6,
-        -6i64..=6,
-        -6i64..=6,
-        -20i64..=20,
-    )
-        .prop_map(|(a, b, c, k)| {
-            LinExpr::var("X").scaled(a)
-                + LinExpr::var("Y").scaled(b)
-                + LinExpr::var("Z").scaled(c)
-                + LinExpr::constant(k)
-        })
+fn arb_expr(rng: &mut Rng) -> LinExpr {
+    LinExpr::var("X").scaled(rng.range_i64(-6, 6))
+        + LinExpr::var("Y").scaled(rng.range_i64(-6, 6))
+        + LinExpr::var("Z").scaled(rng.range_i64(-6, 6))
+        + LinExpr::constant(rng.range_i64(-20, 20))
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    (arb_expr(), arb_expr(), 0..3u8).prop_map(|(a, b, kind)| match kind {
+/// A random affine expression over a wider pool of variables, so queries
+/// split into several independent components and exercise the slicer.
+fn arb_wide_expr(rng: &mut Rng) -> LinExpr {
+    const VARS: [&str; 6] = ["X", "Y", "Z", "P", "Q", "R"];
+    let a = VARS[rng.index(VARS.len())];
+    let b = VARS[rng.index(VARS.len())];
+    LinExpr::var(a).scaled(rng.range_i64(-3, 3))
+        + LinExpr::var(b).scaled(rng.range_i64(-3, 3))
+        + LinExpr::constant(rng.range_i64(-6, 6))
+}
+
+fn arb_pred_with(rng: &mut Rng, expr: fn(&mut Rng) -> LinExpr) -> Pred {
+    let a = expr(rng);
+    let b = expr(rng);
+    match rng.index(3) {
         0 => Pred::le(a, b),
         1 => Pred::ge(a, b),
         _ => Pred::eq(a, b),
-    })
+    }
+}
+
+fn arb_pred(rng: &mut Rng) -> Pred {
+    arb_pred_with(rng, arb_expr)
 }
 
 fn model_for(x: i64, y: i64, z: i64) -> Model {
@@ -37,40 +49,43 @@ fn model_for(x: i64, y: i64, z: i64) -> Model {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Soundness of proofs: if the solver proves `facts ⊢ goal`, then every
-    /// random assignment satisfying the facts also satisfies the goal.
-    #[test]
-    fn proofs_are_sound(
-        facts in proptest::collection::vec(arb_pred(), 0..4),
-        goal in arb_pred(),
-        assignments in proptest::collection::vec((0i64..12, 0i64..12, 0i64..12), 20),
-    ) {
+/// Soundness of proofs: if the solver proves `facts ⊢ goal`, then every
+/// random assignment satisfying the facts also satisfies the goal.
+#[test]
+fn proofs_are_sound() {
+    let mut rng = Rng::new(0xA11CE);
+    for case in 0..64 {
+        let facts: Vec<Pred> = (0..rng.index(4)).map(|_| arb_pred(&mut rng)).collect();
+        let goal = arb_pred(&mut rng);
         let mut solver = Solver::new();
         for f in &facts {
             solver.assume(f.clone());
         }
         if solver.prove(&goal) == Outcome::Proved {
-            for (x, y, z) in assignments {
+            for _ in 0..20 {
+                let (x, y, z) = (rng.range_i64(0, 11), rng.range_i64(0, 11), rng.range_i64(0, 11));
                 let m = model_for(x, y, z);
                 let facts_hold = facts.iter().all(|f| f.eval(&m).unwrap_or(false));
                 if facts_hold {
-                    prop_assert_eq!(goal.eval(&m), Some(true),
-                        "proved goal violated at X={} Y={} Z={}", x, y, z);
+                    assert_eq!(
+                        goal.eval(&m),
+                        Some(true),
+                        "case {case}: proved goal {goal} violated at X={x} Y={y} Z={z}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Counterexamples are genuine: a `Disproved` outcome's model satisfies
-    /// every fact and falsifies the goal.
-    #[test]
-    fn counterexamples_are_genuine(
-        facts in proptest::collection::vec(arb_pred(), 0..3),
-        goal in arb_pred(),
-    ) {
+/// Counterexamples are genuine: a `Disproved` outcome's model satisfies
+/// every fact and falsifies the goal (on the atoms it determines).
+#[test]
+fn counterexamples_are_genuine() {
+    let mut rng = Rng::new(0xBEEF);
+    for case in 0..64 {
+        let facts: Vec<Pred> = (0..rng.index(3)).map(|_| arb_pred(&mut rng)).collect();
+        let goal = arb_pred(&mut rng);
         let mut solver = Solver::new();
         for f in &facts {
             solver.assume(f.clone());
@@ -80,38 +95,205 @@ proptest! {
             // (equality substitution can eliminate variables), so evaluate
             // what it covers: nothing it determines may contradict the claim.
             for f in &facts {
-                prop_assert_ne!(f.eval(&model), Some(false), "fact violated by model {}", model);
+                assert_ne!(
+                    f.eval(&model),
+                    Some(false),
+                    "case {case}: fact {f} violated by model {model}"
+                );
             }
-            prop_assert_ne!(goal.eval(&model), Some(true), "goal not refuted by model {}", model);
+            assert_ne!(
+                goal.eval(&model),
+                Some(true),
+                "case {case}: goal {goal} not refuted by model {model}"
+            );
         }
     }
+}
 
-    /// Linear-expression arithmetic agrees with integer arithmetic under
-    /// evaluation.
-    #[test]
-    fn expression_arithmetic_matches_evaluation(
-        a in arb_expr(),
-        b in arb_expr(),
-        x in -10i64..10, y in -10i64..10, z in -10i64..10,
-        scale in -5i64..5,
-    ) {
+/// Linear-expression arithmetic agrees with integer arithmetic under
+/// evaluation.
+#[test]
+fn expression_arithmetic_matches_evaluation() {
+    let mut rng = Rng::new(0xCAFE);
+    for _ in 0..64 {
+        let a = arb_expr(&mut rng);
+        let b = arb_expr(&mut rng);
+        let (x, y, z) = (rng.range_i64(-10, 9), rng.range_i64(-10, 9), rng.range_i64(-10, 9));
+        let scale = rng.range_i64(-5, 4);
         let m = model_for(x, y, z);
         let va = m.eval(&a).unwrap();
         let vb = m.eval(&b).unwrap();
-        prop_assert_eq!(m.eval(&(a.clone() + b.clone())).unwrap(), va + vb);
-        prop_assert_eq!(m.eval(&(a.clone() - b.clone())).unwrap(), va - vb);
-        prop_assert_eq!(m.eval(&a.scaled(scale)).unwrap(), va * scale);
-        prop_assert_eq!(m.eval(&a.multiply(&b)).unwrap(), va * vb);
+        assert_eq!(m.eval(&(a.clone() + b.clone())).unwrap(), va + vb);
+        assert_eq!(m.eval(&(a.clone() - b.clone())).unwrap(), va - vb);
+        assert_eq!(m.eval(&a.scaled(scale)).unwrap(), va * scale);
+        assert_eq!(m.eval(&a.multiply(&b)).unwrap(), va * vb);
     }
+}
 
-    /// Trivial reflexive facts are always provable, and contradictions never
-    /// are.
-    #[test]
-    fn reflexivity_and_contradiction(e in arb_expr()) {
+/// Trivial reflexive facts are always provable, and contradictions never are.
+#[test]
+fn reflexivity_and_contradiction() {
+    let mut rng = Rng::new(0xD00D);
+    for _ in 0..64 {
+        let e = arb_expr(&mut rng);
         let mut solver = Solver::new();
-        prop_assert_eq!(solver.prove(&Pred::eq(e.clone(), e.clone())), Outcome::Proved);
-        prop_assert_eq!(solver.prove(&Pred::le(e.clone(), e.clone())), Outcome::Proved);
+        assert_eq!(solver.prove(&Pred::eq(e.clone(), e.clone())), Outcome::Proved);
+        assert_eq!(solver.prove(&Pred::le(e.clone(), e.clone())), Outcome::Proved);
         let absurd = Pred::lt(e.clone(), e);
-        prop_assert_ne!(solver.prove(&absurd), Outcome::Proved);
+        assert_ne!(solver.prove(&absurd), Outcome::Proved);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A/B properties: the optimized pipeline versus the naive one.
+// ---------------------------------------------------------------------------
+
+/// Runs the same fact/goal set through a solver with `config` and returns
+/// the outcome sequence (each goal asked twice, to exercise the cache).
+fn run_queries(config: SolverConfig, facts: &[Pred], goals: &[Pred]) -> Vec<Outcome> {
+    let mut solver = Solver::with_config(config);
+    for f in facts {
+        solver.assume(f.clone());
+    }
+    let mut outcomes = Vec::new();
+    for g in goals {
+        outcomes.push(solver.prove(g));
+        outcomes.push(solver.prove(g));
+    }
+    outcomes
+}
+
+/// The sliced + cached solver returns the same `Outcome` as a fresh naive
+/// (cache-disabled, slicing-disabled) solver on randomized fact/goal sets
+/// drawn from one connected variable pool. With a single component the slice
+/// is the whole fact set, so outcomes must be *identical*, models included.
+#[test]
+fn ab_sliced_cached_matches_naive_connected() {
+    let mut rng = Rng::new(0x5EED);
+    for case in 0..96 {
+        let facts: Vec<Pred> = (0..rng.index(4)).map(|_| arb_pred(&mut rng)).collect();
+        let goals: Vec<Pred> = (0..1 + rng.index(3)).map(|_| arb_pred(&mut rng)).collect();
+        let fast = run_queries(SolverConfig::default(), &facts, &goals);
+        let naive = run_queries(SolverConfig::naive(), &facts, &goals);
+        assert_eq!(fast, naive, "case {case}: facts {facts:?} goals {goals:?}");
+    }
+}
+
+/// Same A/B over a wider variable pool, where queries genuinely split into
+/// disconnected components. Proved/not-proved classification must agree
+/// (that is what the checker consumes); Disproved models may legitimately
+/// assign fewer atoms under slicing, so they are validated semantically
+/// instead of syntactically.
+#[test]
+fn ab_sliced_cached_agrees_with_naive_disconnected() {
+    let mut rng = Rng::new(0xFACADE);
+    for case in 0..24 {
+        let facts: Vec<Pred> =
+            (0..rng.index(4)).map(|_| arb_pred_with(&mut rng, arb_wide_expr)).collect();
+        let goals: Vec<Pred> =
+            (0..1 + rng.index(2)).map(|_| arb_pred_with(&mut rng, arb_wide_expr)).collect();
+        let fast = run_queries(SolverConfig::default(), &facts, &goals);
+        let naive = run_queries(SolverConfig::naive(), &facts, &goals);
+        assert_eq!(fast.len(), naive.len());
+        for (i, (f, n)) in fast.iter().zip(naive.iter()).enumerate() {
+            assert_eq!(
+                f.is_proved(),
+                n.is_proved(),
+                "case {case} query {i}: fast {f:?} vs naive {n:?}\nfacts {facts:?}\ngoals {goals:?}"
+            );
+            if let Outcome::Disproved(model) = f {
+                let goal = &goals[i / 2];
+                assert_ne!(
+                    goal.eval(model),
+                    Some(true),
+                    "case {case} query {i}: sliced counterexample does not refute {goal}"
+                );
+            }
+        }
+    }
+}
+
+/// Asking the same query twice through the cache returns a byte-identical
+/// outcome (models included), and the hit is visible in the stats.
+#[test]
+fn cached_answers_are_byte_identical() {
+    let mut rng = Rng::new(0x7E57);
+    for _ in 0..48 {
+        let facts: Vec<Pred> = (0..rng.index(4)).map(|_| arb_pred(&mut rng)).collect();
+        let goal = arb_pred(&mut rng);
+        let mut solver = Solver::new();
+        for f in &facts {
+            solver.assume(f.clone());
+        }
+        let first = solver.prove(&goal);
+        let second = solver.prove(&goal);
+        assert_eq!(first, second);
+        assert!(solver.stats().cache_hits >= 1);
+    }
+}
+
+/// An *undecidable* residual must not let the sliced pipeline fabricate a
+/// counterexample. `2·F(X) == 1` has no integer model, but the engine can
+/// neither prove that (it is rationally feasible) nor find a model — so a
+/// query about an unrelated variable must answer `Unknown`, exactly like the
+/// naive pipeline, rather than `Disproved` with a model that extends to no
+/// model of the full fact set.
+#[test]
+fn undecided_residual_degrades_disproved_to_unknown() {
+    let app = LinExpr::from_term(Term::app("F", vec![LinExpr::var("X")]), 2);
+    let fact = Pred::eq(app, LinExpr::constant(1));
+    let goal = Pred::eq(LinExpr::var("Z"), LinExpr::constant(9));
+
+    let mut fast = Solver::new();
+    fast.assume(fact.clone());
+    let fast_outcome = fast.prove(&goal);
+
+    let mut naive = Solver::with_config(SolverConfig::naive());
+    naive.assume(fact);
+    let naive_outcome = naive.prove(&goal);
+
+    assert_eq!(naive_outcome, Outcome::Unknown);
+    assert_eq!(fast_outcome, naive_outcome);
+}
+
+/// When the residual is verifiably satisfiable, sliced counterexamples are
+/// kept — the models combine.
+#[test]
+fn satisfiable_residual_keeps_counterexamples() {
+    let mut fast = Solver::new();
+    fast.assume(Pred::ge(LinExpr::var("A"), LinExpr::constant(1)));
+    match fast.prove(&Pred::eq(LinExpr::var("Z"), LinExpr::constant(9))) {
+        Outcome::Disproved(model) => {
+            assert_ne!(model.value(&Term::var("Z")), Some(9));
+        }
+        other => panic!("expected Disproved, got {other:?}"),
+    }
+}
+
+/// `prove_under` on a recorded mark agrees with a fresh solver seeded with
+/// the same facts — the indexed-scope path cannot change answers.
+#[test]
+fn prove_under_matches_fresh_solver() {
+    let mut rng = Rng::new(0x1DEA);
+    for case in 0..48 {
+        let base: Vec<Pred> = (0..rng.index(3)).map(|_| arb_pred(&mut rng)).collect();
+        let extra: Vec<Pred> = (0..rng.index(3)).map(|_| arb_pred(&mut rng)).collect();
+        let goal = arb_pred(&mut rng);
+
+        let mut recorded = Solver::new();
+        for f in &base {
+            recorded.assume(f.clone());
+        }
+        let mark = recorded.mark();
+        // Pollute the current scope after the mark; prove_under must ignore it.
+        recorded.assume(Pred::ge(LinExpr::var("Noise"), LinExpr::constant(1)));
+        let under = recorded.prove_under(mark, &extra, &goal);
+
+        let mut fresh = Solver::new();
+        for f in base.iter().chain(extra.iter()) {
+            fresh.assume(f.clone());
+        }
+        let direct = fresh.prove(&goal);
+        assert_eq!(under, direct, "case {case}: base {base:?} extra {extra:?} goal {goal}");
     }
 }

@@ -87,7 +87,7 @@ fn area(kind: &NodeKind, width: u64, fanin_widths: &[u64]) -> (u64, u64, u64) {
             // Combinational multiplier: DSPs for wide operands, LUT fabric
             // for narrow ones.
             if width >= 16 {
-                (width, 0, ((width + 17) / 18).pow(2))
+                (width, 0, width.div_ceil(18).pow(2))
             } else {
                 (width * width / 3, 0, 0)
             }
@@ -109,8 +109,8 @@ fn pipe_area(op: PipeOp, width: u64, latency: u64) -> (u64, u64, u64) {
         // register stage per cycle of latency over ~1.5 datapath widths.
         PipeOp::FAdd => (12 * width, latency * width * 3 / 2, 0),
         // Multipliers lean on DSPs; the LUT share is smaller.
-        PipeOp::FMul => (6 * width, latency * width * 3 / 2, ((width + 17) / 18).pow(2)),
-        PipeOp::IntMul => (2 * width, latency * width, ((width + 17) / 18).pow(2)),
+        PipeOp::FMul => (6 * width, latency * width * 3 / 2, width.div_ceil(18).pow(2)),
+        PipeOp::IntMul => (2 * width, latency * width, width.div_ceil(18).pow(2)),
         // Dividers are LUT-hungry, one stage per pipeline cycle.
         PipeOp::Div => (width * width / 3, latency * width, 0),
         // A 4×4 convolution with `par` parallel multipliers. Fewer
@@ -126,7 +126,7 @@ fn pipe_area(op: PipeOp, width: u64, latency: u64) -> (u64, u64, u64) {
             let stages = 64 - (points.max(2) as u64 - 1).leading_zeros() as u64;
             (stages * 24 * width, stages * 8 * width + latency * width, stages * 3)
         }
-        PipeOp::Mac => (3 * width, latency * width, ((width + 17) / 18).pow(2)),
+        PipeOp::Mac => (3 * width, latency * width, width.div_ceil(18).pow(2)),
     }
 }
 
@@ -223,7 +223,8 @@ pub fn estimate(netlist: &Netlist) -> ResourceEstimate {
             input_arrival + own
         };
         arrival[id.0 as usize] = if node.kind.is_sequential() { 0.0 } else { t };
-        critical = critical.max(t + if node.kind.is_sequential() { 0.0 } else { SEQUENTIAL_OVERHEAD_NS });
+        critical =
+            critical.max(t + if node.kind.is_sequential() { 0.0 } else { SEQUENTIAL_OVERHEAD_NS });
     }
     // Paths into sequential nodes that were skipped by the combinational
     // order (their operand arrival): account for them explicitly.

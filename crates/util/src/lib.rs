@@ -7,7 +7,9 @@
 //! * [`span`] — byte-offset source spans and position/line-column mapping,
 //! * [`diag`] — structured diagnostics (errors, warnings, notes) with
 //!   rendering against a [`SourceMap`],
-//! * [`idx`] — strongly-typed index newtypes and dense index maps.
+//! * [`idx`] — strongly-typed index newtypes and dense index maps,
+//! * [`par`] — an order-preserving parallel map over scoped threads,
+//! * [`rng`] — a deterministic pseudo-random generator for tests.
 //!
 //! # Example
 //!
@@ -22,6 +24,8 @@
 pub mod diag;
 pub mod idx;
 pub mod intern;
+pub mod par;
+pub mod rng;
 pub mod span;
 
 pub use diag::{Diagnostic, DiagnosticKind, ErrorReporter, LilacError, Result};

@@ -1,0 +1,96 @@
+//! Order-preserving parallel map over standard-library scoped threads.
+//!
+//! The container image ships no external crates, so this module provides the
+//! small slice of rayon the workspace needs: fan a slice of independent work
+//! items out over the available cores and collect the results *in input
+//! order*, which keeps every downstream report deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `items` work items: the machine's
+/// available parallelism, capped by the number of items, and overridable with
+/// the `LILAC_THREADS` environment variable (a value of `1` forces serial
+/// execution).
+pub fn worker_count(items: usize) -> usize {
+    let hw = std::env::var("LILAC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    hw.min(items).max(1)
+}
+
+/// Applies `f` to every element of `items` and returns the results in input
+/// order. Work is distributed dynamically over [`worker_count`] scoped
+/// threads; with one worker (or one item) it degrades to a plain serial map
+/// with no thread spawns.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                let result = f(item);
+                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index visited exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_runs() {
+        let items: Vec<u64> = (0..64).collect();
+        let a = par_map(&items, |&x| x.wrapping_mul(0x9e3779b97f4a7c15));
+        let b = par_map(&items, |&x| x.wrapping_mul(0x9e3779b97f4a7c15));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_count_respects_items() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1000) >= 1);
+    }
+}

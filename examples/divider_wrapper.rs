@@ -36,13 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 0..latency {
             sim.step();
         }
-        println!(
-            "{:<10} {:>16} {:>10} {:>14}",
-            width,
-            implementation,
-            latency,
-            sim.output("q")
-        );
+        println!("{:<10} {:>16} {:>10} {:>14}", width, implementation, latency, sim.output("q"));
     }
     Ok(())
 }

@@ -51,10 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn lilac_bench_rows() -> Result<
-    Vec<(u32, lilac::synth::ResourceEstimate, lilac::synth::ResourceEstimate)>,
-    Box<dyn std::error::Error>,
-> {
+type GbpRow = (u32, lilac::synth::ResourceEstimate, lilac::synth::ResourceEstimate);
+
+fn lilac_bench_rows() -> Result<Vec<GbpRow>, Box<dyn std::error::Error>> {
     let program = Design::Gbp.program()?;
     let mut rows = Vec::new();
     for n in [1u32, 2, 4, 8, 16] {
