@@ -1,0 +1,324 @@
+//! Programmatic AST builders.
+//!
+//! The parser is the normal way to obtain a [`Program`], but tooling that
+//! *synthesizes* Lilac — the fuzzer (`lilac-fuzz`), tests, and future
+//! frontends — builds ASTs directly. These helpers construct well-formed
+//! nodes with synthetic spans so that synthesized programs print, re-parse,
+//! and check exactly like hand-written ones.
+//!
+//! Everything here is a thin, total constructor: no validation happens at
+//! build time (that is the type checker's job), but the shapes produced are
+//! always printable and re-parseable.
+
+use crate::ast::*;
+use lilac_util::span::Span;
+
+// ---------------------------------------------------------------------------
+// Parameter expressions and constraints
+// ---------------------------------------------------------------------------
+
+/// A natural-number literal.
+pub fn nat(n: u64) -> ParamExpr {
+    ParamExpr::Nat(n)
+}
+
+/// A parameter reference `#name`.
+pub fn pvar(name: &str) -> ParamExpr {
+    ParamExpr::param(name)
+}
+
+/// A binary parameter operation.
+pub fn pbin(op: BinOp, a: ParamExpr, b: ParamExpr) -> ParamExpr {
+    ParamExpr::Bin(op, Box::new(a), Box::new(b))
+}
+
+/// `instance::#param` — read an output parameter of an instance.
+pub fn inst_access(instance: &str, param: &str) -> ParamExpr {
+    ParamExpr::InstAccess { instance: Ident::synthetic(instance), param: Ident::synthetic(param) }
+}
+
+/// `Comp[args]::#param` — use a component as a parameter-level function.
+pub fn comp_access(comp: &str, args: Vec<ParamExpr>, param: &str) -> ParamExpr {
+    ParamExpr::CompAccess { comp: Ident::synthetic(comp), args, param: Ident::synthetic(param) }
+}
+
+// ---------------------------------------------------------------------------
+// Times and intervals
+// ---------------------------------------------------------------------------
+
+/// The time `event + offset`.
+pub fn time(event: &str, offset: ParamExpr) -> TimeExpr {
+    TimeExpr::new(Some(Ident::synthetic(event)), offset, Span::dummy())
+}
+
+/// The single-cycle availability window `[event+start, event+start+1]`
+/// (constant starts fold, so `[G, G+1]` prints as in the paper).
+pub fn window(event: &str, start: ParamExpr) -> Interval {
+    let end = match &start {
+        ParamExpr::Nat(n) => nat(n + 1),
+        _ => ParamExpr::add(start.clone(), nat(1)),
+    };
+    Interval { start: time(event, start.clone()), end: time(event, end), span: Span::dummy() }
+}
+
+/// A scalar data port available in `[event+start, event+start+1]`.
+pub fn data_port(name: &str, event: &str, start: ParamExpr, width: ParamExpr) -> PortDecl {
+    PortDecl {
+        name: Ident::synthetic(name),
+        dims: Vec::new(),
+        liveness: window(event, start),
+        ty: PortType::Data { width },
+        span: Span::dummy(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signatures and modules
+// ---------------------------------------------------------------------------
+
+/// Incremental [`Signature`] builder.
+#[derive(Clone, Debug)]
+pub struct SigBuilder {
+    sig: Signature,
+}
+
+impl SigBuilder {
+    /// Starts a signature for component `name`.
+    pub fn new(name: &str) -> SigBuilder {
+        SigBuilder {
+            sig: Signature {
+                name: Ident::synthetic(name),
+                params: Vec::new(),
+                events: Vec::new(),
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                out_params: Vec::new(),
+                where_clauses: Vec::new(),
+                span: Span::dummy(),
+            },
+        }
+    }
+
+    /// Adds an input parameter `#name` (no default).
+    pub fn param(mut self, name: &str) -> SigBuilder {
+        self.sig.params.push(ParamDecl { name: Ident::synthetic(name), default: None });
+        self
+    }
+
+    /// Adds an event `<name: delay>`.
+    pub fn event(mut self, name: &str, delay: ParamExpr) -> SigBuilder {
+        self.sig.events.push(EventDecl { name: Ident::synthetic(name), delay });
+        self
+    }
+
+    /// Adds an input port.
+    pub fn input(mut self, port: PortDecl) -> SigBuilder {
+        self.sig.inputs.push(port);
+        self
+    }
+
+    /// Adds an output port.
+    pub fn output(mut self, port: PortDecl) -> SigBuilder {
+        self.sig.outputs.push(port);
+        self
+    }
+
+    /// Adds an output parameter `some #name where ...`.
+    pub fn out_param(mut self, name: &str, constraints: Vec<Constraint>) -> SigBuilder {
+        self.sig.out_params.push(OutParamDecl { name: Ident::synthetic(name), constraints });
+        self
+    }
+
+    /// Adds a `where` clause on the input parameters.
+    pub fn where_clause(mut self, c: Constraint) -> SigBuilder {
+        self.sig.where_clauses.push(c);
+        self
+    }
+
+    /// Finishes the signature.
+    pub fn build(self) -> Signature {
+        self.sig
+    }
+}
+
+/// A Lilac component module with the given body.
+pub fn comp(sig: Signature, body: Vec<Cmd>) -> Module {
+    Module { sig, kind: ModuleKind::Comp { body }, span: Span::dummy() }
+}
+
+/// An extern (primitive) module.
+pub fn extern_comp(sig: Signature) -> Module {
+    Module { sig, kind: ModuleKind::Extern { path: None }, span: Span::dummy() }
+}
+
+/// A generator-backed module.
+pub fn gen_comp(tool: &str, sig: Signature) -> Module {
+    Module { sig, kind: ModuleKind::Gen { tool: tool.to_string() }, span: Span::dummy() }
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+/// `name := new Comp[params];`
+pub fn instantiate(name: &str, comp: &str, params: Vec<ParamExpr>) -> Cmd {
+    Cmd::Instantiate {
+        name: Ident::synthetic(name),
+        comp: Ident::synthetic(comp),
+        params,
+        span: Span::dummy(),
+    }
+}
+
+/// `name := Instance<at>(args);`
+pub fn invoke(name: &str, instance: &str, at: TimeExpr, args: Vec<Access>) -> Cmd {
+    Cmd::Invoke {
+        name: Ident::synthetic(name),
+        instance: Ident::synthetic(instance),
+        schedule: vec![at],
+        args,
+        span: Span::dummy(),
+    }
+}
+
+/// `name := new Comp[params]<at>(args);`
+pub fn inst_invoke(
+    name: &str,
+    comp: &str,
+    params: Vec<ParamExpr>,
+    at: TimeExpr,
+    args: Vec<Access>,
+) -> Cmd {
+    Cmd::InstInvoke {
+        name: Ident::synthetic(name),
+        comp: Ident::synthetic(comp),
+        params,
+        schedule: vec![at],
+        args,
+        span: Span::dummy(),
+    }
+}
+
+/// `dst = src;`
+pub fn connect(dst: Access, src: Access) -> Cmd {
+    Cmd::Connect { dst, src, span: Span::dummy() }
+}
+
+/// `let #name = value;`
+pub fn let_bind(name: &str, value: ParamExpr) -> Cmd {
+    Cmd::Let { name: Ident::synthetic(name), value, span: Span::dummy() }
+}
+
+/// `#name := value;` — bind one of the component's output parameters.
+pub fn out_param_bind(name: &str, value: ParamExpr) -> Cmd {
+    Cmd::OutParamBind { name: Ident::synthetic(name), value, span: Span::dummy() }
+}
+
+/// `bundle<#idx> name[dim]: [event+start+#idx, event+start+#idx+1] width;`
+///
+/// The element availability window follows the shift-register idiom: element
+/// `#idx` is available exactly `start + #idx` cycles after `event`.
+pub fn shift_bundle(
+    name: &str,
+    idx_var: &str,
+    dim: ParamExpr,
+    event: &str,
+    start: ParamExpr,
+    width: ParamExpr,
+) -> Cmd {
+    Cmd::Bundle {
+        name: Ident::synthetic(name),
+        idx_vars: vec![Ident::synthetic(idx_var)],
+        dims: vec![dim],
+        liveness: window(event, ParamExpr::add(start, pvar(idx_var))),
+        width,
+        span: Span::dummy(),
+    }
+}
+
+/// `for #var in start..end { body }`
+pub fn for_loop(var: &str, start: ParamExpr, end: ParamExpr, body: Vec<Cmd>) -> Cmd {
+    Cmd::For { var: Ident::synthetic(var), start, end, body, span: Span::dummy() }
+}
+
+/// `base{index}` — a bundle element access.
+pub fn index(base: Access, idx: ParamExpr) -> Access {
+    Access::Index { base: Box::new(base), index: idx }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::printer::print_program;
+
+    #[test]
+    fn built_programs_print_and_reparse() {
+        // The Delay1 idiom, built programmatically.
+        let reg = extern_comp(
+            SigBuilder::new("Reg")
+                .param("W")
+                .event("G", nat(1))
+                .input(data_port("in", "G", nat(0), pvar("W")))
+                .output(data_port("out", "G", nat(1), pvar("W")))
+                .build(),
+        );
+        let delay = comp(
+            SigBuilder::new("Delay1")
+                .param("W")
+                .event("G", nat(1))
+                .input(data_port("i", "G", nat(0), pvar("W")))
+                .output(data_port("o", "G", nat(1), pvar("W")))
+                .build(),
+            vec![
+                inst_invoke("r", "Reg", vec![pvar("W")], time("G", nat(0)), vec![Access::var("i")]),
+                connect(Access::var("o"), Access::port("r", "out")),
+            ],
+        );
+        let program = Program { modules: vec![reg, delay] };
+        let printed = print_program(&program);
+        let (reparsed, _) = parse_program("built.lilac", &printed).expect("round-trips");
+        assert_eq!(printed, print_program(&reparsed));
+        assert_eq!(reparsed.modules.len(), 2);
+    }
+
+    #[test]
+    fn bundle_and_loop_builders_match_shift_idiom() {
+        let body = vec![
+            shift_bundle("w", "i", ParamExpr::add(pvar("N"), nat(1)), "G", nat(0), pvar("W")),
+            connect(index(Access::var("w"), nat(0)), Access::var("in")),
+            connect(Access::var("out"), index(Access::var("w"), pvar("N"))),
+            for_loop(
+                "k",
+                nat(0),
+                pvar("N"),
+                vec![
+                    inst_invoke(
+                        "r",
+                        "Reg",
+                        vec![pvar("W")],
+                        time("G", pvar("k")),
+                        vec![index(Access::var("w"), pvar("k"))],
+                    ),
+                    connect(
+                        index(Access::var("w"), ParamExpr::add(pvar("k"), nat(1))),
+                        Access::port("r", "out"),
+                    ),
+                ],
+            ),
+        ];
+        let shift = comp(
+            SigBuilder::new("Shift")
+                .param("W")
+                .param("N")
+                .event("G", nat(1))
+                .input(data_port("in", "G", nat(0), pvar("W")))
+                .output(data_port("out", "G", pvar("N"), pvar("W")))
+                .build(),
+            body,
+        );
+        let printed = crate::printer::print_module(&shift);
+        assert!(printed.contains("bundle<#i> w["));
+        assert!(printed.contains("for #k in 0..#N {"));
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`lexer`] — a hand-written tokenizer for the surface syntax.
 //! * [`parser`] — a recursive-descent parser producing [`ast::Program`]s.
 //! * [`printer`] — a pretty printer that round-trips parsed programs.
+//! * [`build`] — programmatic AST constructors for tooling that synthesizes
+//!   programs (the `lilac-fuzz` generator, tests).
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 //! ```
 
 pub mod ast;
+pub mod build;
 pub mod lexer;
 pub mod parser;
 pub mod printer;

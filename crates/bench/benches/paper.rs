@@ -112,10 +112,21 @@ fn bench_solver_ab() {
     );
 }
 
+fn bench_fuzz() {
+    println!("-- fuzz throughput: generate + check x4 + elaborate + simulate x2 per case --");
+    let row = lilac_bench::fuzz_throughput(150, 0);
+    println!(
+        "fuzz/150-cases                                         {:>12.3?}   {:>7.0} cases/s   \
+         ({} checked, {} rejected, {} obligations, fingerprint {:016x})",
+        row.elapsed, row.cases_per_sec, row.checked, row.rejected, row.obligations, row.fingerprint
+    );
+}
+
 fn main() {
     bench_parse();
     bench_typecheck();
     bench_elaborate();
     bench_exhibits();
+    bench_fuzz();
     bench_solver_ab();
 }

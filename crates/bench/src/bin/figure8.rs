@@ -3,6 +3,37 @@
 //!
 //! `--json <path>` additionally writes the machine-readable
 //! `BENCH_figure8.json` artifact (used by the CI timing smoke job).
+//!
+//! `--check` validates that the run actually measured something — every
+//! design must have discharged obligations through real solver queries and
+//! the query cache must have carried weight somewhere — and exits non-zero
+//! otherwise. CI uses this to fail instead of silently uploading an
+//! artifact full of zeros.
+
+/// `--check`: fail loudly when the benchmark silently measured nothing.
+fn check_rows(rows: &[lilac_bench::Figure8Row]) -> Result<(), String> {
+    if rows.is_empty() {
+        return Err("no Figure 8 rows were produced".to_string());
+    }
+    for row in rows {
+        if row.obligations == 0 {
+            return Err(format!("{}: zero obligations discharged", row.design.name()));
+        }
+        if row.solver.queries == 0 {
+            return Err(format!("{}: zero solver queries issued", row.design.name()));
+        }
+    }
+    let hits: usize = rows.iter().map(|r| r.solver.cache_hits).sum();
+    let queries: usize = rows.iter().map(|r| r.solver.queries).sum();
+    let hit_rate = hits as f64 / queries as f64;
+    if hit_rate <= 0.0 {
+        return Err(format!(
+            "aggregate cache hit rate is zero ({hits}/{queries} queries) — the query cache is \
+             not engaging"
+        ));
+    }
+    Ok(())
+}
 
 fn main() {
     let rows = lilac_bench::figure8().expect("figure 8 harness");
@@ -42,12 +73,24 @@ fn main() {
     println!("EXPERIMENTS.md for the optimized-vs-naive A/B.");
 
     let mut args = std::env::args().skip(1);
+    let mut check = false;
     while let Some(arg) = args.next() {
         if arg == "--json" {
             let path = args.next().unwrap_or_else(|| "BENCH_figure8.json".to_string());
             std::fs::write(&path, lilac_bench::figure8_json(&rows))
                 .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             println!("\nwrote {path}");
+        } else if arg == "--check" {
+            check = true;
+        }
+    }
+    if check {
+        match check_rows(&rows) {
+            Ok(()) => println!("check: all designs issued queries and the cache engaged"),
+            Err(e) => {
+                eprintln!("check FAILED: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

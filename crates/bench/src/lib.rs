@@ -350,18 +350,66 @@ pub fn solver_speedup(reps: usize) -> Result<(Vec<SpeedupRow>, SpeedupSummary)> 
     Ok((rows, summary))
 }
 
-/// True when two check reports agree on everything the user can observe:
-/// component names, obligation and proof counts, and diagnostics. Timing and
-/// solver-effort counters are excluded (they describe *how* the answer was
-/// reached).
+/// True when two check reports agree on everything the user can observe.
+/// Delegates to [`CheckReport::equivalent`] (kept as a free function for the
+/// existing bench/test callers).
 pub fn reports_equivalent(a: &CheckReport, b: &CheckReport) -> bool {
-    a.components.len() == b.components.len()
-        && a.components.iter().zip(b.components.iter()).all(|(x, y)| {
-            x.name == y.name
-                && x.obligations == y.obligations
-                && x.proved == y.proved
-                && format!("{:?}", x.diagnostics) == format!("{:?}", y.diagnostics)
-        })
+    a.equivalent(b)
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz throughput (the differential-testing subsystem as a benchmark row)
+// ---------------------------------------------------------------------------
+
+/// Throughput of the `lilac-fuzz` differential pipeline: how many complete
+/// generate → synthesize → check×4 → elaborate → simulate×2 cases the
+/// harness clears per second. This is the row that tells us whether a
+/// solver or checker change made the *fuzzing CI budget* cheaper or more
+/// expensive, alongside the per-design Figure 8 timings.
+#[derive(Clone, Debug)]
+pub struct FuzzThroughputRow {
+    /// Cases run.
+    pub cases: u64,
+    /// Cases that type-checked (clean generations).
+    pub checked: u64,
+    /// Sabotaged cases correctly rejected.
+    pub rejected: u64,
+    /// Total obligations discharged across all cases.
+    pub obligations: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// `cases / elapsed`.
+    pub cases_per_sec: f64,
+    /// Deterministic outcome digest (must be identical run to run).
+    pub fingerprint: u64,
+}
+
+/// Runs the fuzzer for a fixed budget and reports throughput.
+///
+/// # Panics
+///
+/// Panics if any oracle disagrees — a benchmark run is also a correctness
+/// run (the fuzzer's whole point is that every future solver optimization
+/// gets this regression oracle for free).
+pub fn fuzz_throughput(cases: u64, seed: u64) -> FuzzThroughputRow {
+    let config = lilac_fuzz::FuzzConfig { cases, seed, ..lilac_fuzz::FuzzConfig::default() };
+    let start = Instant::now();
+    let summary = lilac_fuzz::run_fuzz(&config);
+    let elapsed = start.elapsed();
+    assert!(
+        summary.failures.is_empty(),
+        "fuzz oracles disagreed during the benchmark: {:#?}",
+        summary.failures
+    );
+    FuzzThroughputRow {
+        cases: summary.cases,
+        checked: summary.checked_ok,
+        rejected: summary.rejected,
+        obligations: summary.obligations,
+        elapsed,
+        cases_per_sec: summary.cases as f64 / elapsed.as_secs_f64().max(1e-9),
+        fingerprint: summary.fingerprint,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -580,6 +628,16 @@ mod tests {
             rows.iter().any(|r| r.cache_hit_rate > 0.5),
             "no design exceeds 50% cache hit rate: {rows:#?}"
         );
+    }
+
+    #[test]
+    fn fuzz_throughput_is_clean_and_deterministic() {
+        let a = fuzz_throughput(25, 7);
+        let b = fuzz_throughput(25, 7);
+        assert_eq!(a.cases, 25);
+        assert!(a.checked + a.rejected == 25);
+        assert!(a.obligations > 0);
+        assert_eq!(a.fingerprint, b.fingerprint, "fuzz outcomes must be deterministic");
     }
 
     #[test]

@@ -99,6 +99,21 @@ impl CheckReport {
     pub fn solver_stats(&self) -> SolverStats {
         self.components.iter().fold(SolverStats::default(), |acc, c| acc.merged(c.solver_stats))
     }
+
+    /// True when two reports agree on everything the user can observe:
+    /// component names, obligation and proof counts, and diagnostics.
+    /// Timing and solver-effort counters are excluded — they describe *how*
+    /// the answer was reached, not the answer. This is the A/B contract the
+    /// benchmark harness and the fuzzer's differential oracle both pin.
+    pub fn equivalent(&self, other: &CheckReport) -> bool {
+        self.components.len() == other.components.len()
+            && self.components.iter().zip(other.components.iter()).all(|(x, y)| {
+                x.name == y.name
+                    && x.obligations == y.obligations
+                    && x.proved == y.proved
+                    && format!("{:?}", x.diagnostics) == format!("{:?}", y.diagnostics)
+            })
+    }
 }
 
 /// Knobs controlling how a whole program is checked.

@@ -1,0 +1,252 @@
+//! Differential fuzzing for the Lilac reproduction.
+//!
+//! The paper's evaluation exercises eight hand-authored designs; this crate
+//! turns that into an unbounded supply. A seeded generator draws random
+//! *well-typed-by-construction* Lilac programs — compositions of standard
+//! library components, loops and bundles, parameterized generated
+//! sub-components, and FloPoCo generator invocations — and pushes each one
+//! through four differential oracles (see [`oracle`]):
+//!
+//! 1. every checker configuration (optimized / serial / shared-cache /
+//!    naive) reaches the same verdict;
+//! 2. programs that type-check elaborate and simulate to exactly the values
+//!    the scenario interpreter predicts, cycle by cycle (the paper's §4
+//!    soundness claim, observed dynamically);
+//! 3. printing and re-parsing is a fixpoint;
+//! 4. the latency-abstract netlist and its mechanically wrapped
+//!    latency-insensitive counterpart compute identical values.
+//!
+//! A sixth of the cases carry a deliberate one-cycle timing fault and must
+//! be *rejected* — identically — by every checker configuration.
+//!
+//! Failures are minimized by the greedy [`shrink`]er and can be emitted as
+//! corpus files ([`corpus`]) that replay as ordinary `cargo test`
+//! regressions.
+//!
+//! Everything is deterministic: `run_fuzz` with the same seed and case
+//! count produces bit-for-bit the same [`FuzzSummary`], including its
+//! fingerprint.
+
+pub mod corpus;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+pub mod synth;
+
+use oracle::{run_case, Session};
+use scenario::generate;
+
+/// Configuration of one fuzzing run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of cases to generate.
+    pub cases: u64,
+    /// Base seed; case `i` derives its own seed from it.
+    pub seed: u64,
+    /// Minimize failures with the greedy shrinker.
+    pub shrink: bool,
+    /// Stop after this many failures.
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { cases: 200, seed: 0, shrink: true, max_failures: 5 }
+    }
+}
+
+/// One (shrunk) oracle failure, ready to be reported or written to disk.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// Case index within the run.
+    pub case_index: u64,
+    /// The derived seed — `generate(case_seed)` reproduces the scenario.
+    pub case_seed: u64,
+    /// Which oracle disagreed.
+    pub oracle: String,
+    /// Disagreement description (from the shrunk scenario).
+    pub detail: String,
+    /// The shrunk program text.
+    pub program: String,
+    /// Scenario sizes before/after shrinking and the probe count.
+    pub steps_before: usize,
+    /// Steps remaining after shrinking.
+    pub steps_after: usize,
+    /// Candidate scenarios probed while shrinking.
+    pub probes: usize,
+}
+
+/// Aggregate result of a fuzzing run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzSummary {
+    /// Cases generated.
+    pub cases: u64,
+    /// Cases that type-checked (and ran the simulation oracles).
+    pub checked_ok: u64,
+    /// Sabotaged cases correctly rejected.
+    pub rejected: u64,
+    /// Cases exercising the FloPoCo generator block.
+    pub gen_cases: u64,
+    /// Cases invoking generated sub-components.
+    pub sub_cases: u64,
+    /// Total proof obligations discharged by the optimized checker.
+    pub obligations: u64,
+    /// Total solver queries issued by the optimized checker.
+    pub queries: u64,
+    /// Total cycles simulated by the value and LA/LI oracles.
+    pub cycles: u64,
+    /// Entries accumulated in the persistent cross-case solver cache.
+    pub shared_cache_entries: usize,
+    /// Oracle disagreements (empty on a healthy run).
+    pub failures: Vec<FailureReport>,
+    /// Order-sensitive digest of every case outcome; bit-for-bit stable
+    /// for a given (seed, cases) pair.
+    pub fingerprint: u64,
+}
+
+/// FNV-1a accumulation (stable across platforms and runs).
+pub fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = if hash == 0 { 0xcbf2_9ce4_8422_2325 } else { hash };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed of case `i` under base seed `base`: a SplitMix64 scramble so that
+/// consecutive cases are decorrelated but the mapping is stable.
+pub fn case_seed(base: u64, i: u64) -> u64 {
+    let mut z = base ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs the fuzzer. Failures are shrunk (when configured) but never panic
+/// the run; they are collected into the summary.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzSummary {
+    run_fuzz_with_progress(config, |_| {})
+}
+
+/// [`run_fuzz`] with a progress callback invoked after every case (the CLI
+/// uses it; `cargo test` does not).
+pub fn run_fuzz_with_progress(config: &FuzzConfig, mut progress: impl FnMut(u64)) -> FuzzSummary {
+    let session = Session::new();
+    let mut summary = FuzzSummary::default();
+    for i in 0..config.cases {
+        let seed = case_seed(config.seed, i);
+        let scenario = generate(seed);
+        summary.cases += 1;
+        if scenario.gen_block.is_some() {
+            summary.gen_cases += 1;
+        }
+        if scenario.steps.iter().any(|s| matches!(s, scenario::Step::SubComp { .. })) {
+            summary.sub_cases += 1;
+        }
+        match run_case(&scenario, &session) {
+            Ok(stats) => {
+                if stats.checked_ok {
+                    summary.checked_ok += 1;
+                } else {
+                    summary.rejected += 1;
+                }
+                summary.obligations += stats.obligations as u64;
+                summary.queries += stats.queries;
+                summary.cycles += stats.cycles;
+                summary.fingerprint = fnv1a(
+                    summary.fingerprint,
+                    format!(
+                        "{seed}:{}:{}:{}:{}:{}",
+                        stats.checked_ok,
+                        stats.modules,
+                        stats.obligations,
+                        stats.queries,
+                        stats.cycles
+                    )
+                    .as_bytes(),
+                );
+            }
+            Err(failure) => {
+                let report = if config.shrink {
+                    // Re-judge each candidate with a *fresh* shared cache so
+                    // shrinking is independent of the probes before it while
+                    // still running the warm-cache configuration (failures
+                    // that need cross-case cache pollution to reproduce are
+                    // reported unshrunk). Only candidates failing the *same*
+                    // oracle are accepted.
+                    let oracle_name = failure.oracle;
+                    let shrunk = shrink::shrink(&scenario, failure, |cand| {
+                        match run_case(cand, &Session::new()) {
+                            Err(f) if f.oracle == oracle_name => Some(f),
+                            _ => None,
+                        }
+                    });
+                    FailureReport {
+                        case_index: i,
+                        case_seed: seed,
+                        oracle: shrunk.failure.oracle.to_string(),
+                        detail: shrunk.failure.detail.clone(),
+                        program: lilac_ast::printer::print_program(
+                            &synth::synthesize(&shrunk.scenario).program,
+                        ),
+                        steps_before: shrunk.steps_before,
+                        steps_after: shrunk.steps_after,
+                        probes: shrunk.probes,
+                    }
+                } else {
+                    let steps = scenario.steps.len();
+                    FailureReport {
+                        case_index: i,
+                        case_seed: seed,
+                        oracle: failure.oracle.to_string(),
+                        detail: failure.detail,
+                        program: lilac_ast::printer::print_program(
+                            &synth::synthesize(&scenario).program,
+                        ),
+                        steps_before: steps,
+                        steps_after: steps,
+                        probes: 0,
+                    }
+                };
+                summary.fingerprint = fnv1a(
+                    summary.fingerprint,
+                    format!("{seed}:FAIL:{}:{}", report.oracle, report.detail).as_bytes(),
+                );
+                summary.failures.push(report);
+                if summary.failures.len() >= config.max_failures {
+                    break;
+                }
+            }
+        }
+        progress(i + 1);
+    }
+    summary.shared_cache_entries = session.shared_cache_entries();
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_smoke_is_clean_and_deterministic() {
+        let config = FuzzConfig { cases: 60, seed: 0, ..FuzzConfig::default() };
+        let a = run_fuzz(&config);
+        assert!(a.failures.is_empty(), "oracle disagreements in the smoke run: {:#?}", a.failures);
+        assert!(a.checked_ok > 0, "some cases must check");
+        assert!(a.rejected > 0, "some sabotaged cases must be generated");
+        assert!(a.obligations > 0);
+        assert!(a.cycles > 0);
+        let b = run_fuzz(&config);
+        assert_eq!(a.fingerprint, b.fingerprint, "same seed must be bit-for-bit deterministic");
+        assert_eq!(a.cases, b.cases);
+    }
+
+    #[test]
+    fn different_seeds_explore_different_programs() {
+        let a = run_fuzz(&FuzzConfig { cases: 15, seed: 1, ..FuzzConfig::default() });
+        let b = run_fuzz(&FuzzConfig { cases: 15, seed: 2, ..FuzzConfig::default() });
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+}

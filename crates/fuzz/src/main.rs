@@ -1,0 +1,210 @@
+//! The `lilac-fuzz` command-line driver.
+//!
+//! ```text
+//! cargo run --release -p lilac-fuzz -- --cases 2000 --seed 0
+//! ```
+//!
+//! Exit status is non-zero when any oracle disagreed. All result output
+//! goes to stdout and is bit-for-bit deterministic for a given seed and
+//! case count; timing goes to stderr.
+//!
+//! Flags:
+//!
+//! * `--cases N` — number of cases (default 200)
+//! * `--seed S` — base seed (default 0)
+//! * `--no-shrink` — report failures without minimizing them
+//! * `--failures DIR` — write each shrunk failing case to `DIR`
+//! * `--emit-corpus DIR` — regenerate the checked-in corpus into `DIR`
+//! * `--corpus-count N` — corpus size for `--emit-corpus` (default 20)
+//! * `--replay CASE_SEED` — re-run one scenario by the derived case seed a
+//!   failure report prints, echoing the program and verdict
+
+use lilac_fuzz::{run_fuzz_with_progress, FuzzConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    config: FuzzConfig,
+    failures_dir: Option<PathBuf>,
+    emit_corpus: Option<PathBuf>,
+    corpus_count: usize,
+    replay: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: FuzzConfig::default(),
+        failures_dir: None,
+        emit_corpus: None,
+        corpus_count: 20,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match arg.as_str() {
+            "--cases" => {
+                args.config.cases =
+                    value("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?
+            }
+            "--seed" => {
+                args.config.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--no-shrink" => args.config.shrink = false,
+            "--max-failures" => {
+                args.config.max_failures =
+                    value("--max-failures")?.parse().map_err(|e| format!("--max-failures: {e}"))?
+            }
+            "--replay" => {
+                args.replay =
+                    Some(value("--replay")?.parse().map_err(|e| format!("--replay: {e}"))?)
+            }
+            "--failures" => args.failures_dir = Some(PathBuf::from(value("--failures")?)),
+            "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus")?)),
+            "--corpus-count" => {
+                args.corpus_count =
+                    value("--corpus-count")?.parse().map_err(|e| format!("--corpus-count: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lilac-fuzz [--cases N] [--seed S] [--no-shrink] [--max-failures N]\n\
+                     \x20                 [--failures DIR] [--emit-corpus DIR] [--corpus-count N]\n\
+                     \x20                 [--replay CASE_SEED]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(dir) = &args.emit_corpus {
+        let files = lilac_fuzz::corpus::select(args.config.seed, args.corpus_count);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        for (name, text) in &files {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("wrote {}", path.display());
+        }
+        println!("corpus: {} cases under {}", files.len(), dir.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(case_seed) = args.replay {
+        // Replay exactly one scenario by its derived case seed (the value a
+        // failure report prints), printing the program and the verdict.
+        let scenario = lilac_fuzz::scenario::generate(case_seed);
+        let synth = lilac_fuzz::synth::synthesize(&scenario);
+        println!("// case seed {case_seed}");
+        println!("{}", lilac_ast::printer::print_program(&synth.program));
+        return match lilac_fuzz::oracle::run_case(&scenario, &lilac_fuzz::oracle::Session::new()) {
+            Ok(stats) => {
+                println!(
+                    "OK: checked={} obligations={} cycles={}",
+                    stats.checked_ok, stats.obligations, stats.cycles
+                );
+                ExitCode::SUCCESS
+            }
+            Err(f) => {
+                println!("FAILURE: oracle `{}` — {}", f.oracle, f.detail);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let start = Instant::now();
+    let mut last_tick = Instant::now();
+    let summary = run_fuzz_with_progress(&args.config, |done| {
+        if last_tick.elapsed().as_secs() >= 5 {
+            eprintln!("... {done}/{} cases", args.config.cases);
+            last_tick = Instant::now();
+        }
+    });
+    let elapsed = start.elapsed();
+
+    println!("lilac-fuzz: seed {} cases {}", args.config.seed, summary.cases);
+    println!(
+        "  verdicts: {} checked, {} rejected (sabotaged)",
+        summary.checked_ok, summary.rejected
+    );
+    println!(
+        "  coverage: {} generator-block cases, {} sub-component cases",
+        summary.gen_cases, summary.sub_cases
+    );
+    println!(
+        "  effort:   {} obligations, {} solver queries, {} simulated cycles, {} shared-cache entries",
+        summary.obligations, summary.queries, summary.cycles, summary.shared_cache_entries
+    );
+    println!("  fingerprint: {:016x}", summary.fingerprint);
+
+    if let Some(dir) = &args.failures_dir {
+        if !summary.failures.is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+            }
+        }
+        for f in &summary.failures {
+            let path = dir.join(format!("seed{:020}_{}.lilac", f.case_seed, f.oracle));
+            let mut text = format!(
+                "// lilac-fuzz failure\n// oracle: {}\n// detail: {}\n// seed: {}\n// reproduce: cargo run --release -p lilac-fuzz -- --replay {}\n\n",
+                f.oracle,
+                f.detail.replace('\n', "\n//         "),
+                f.case_seed,
+                f.case_seed,
+            );
+            text.push_str(&f.program);
+            match std::fs::write(&path, &text) {
+                Ok(()) => eprintln!("wrote failing case to {}", path.display()),
+                Err(e) => eprintln!("error: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+
+    for f in &summary.failures {
+        println!();
+        println!(
+            "FAILURE case {} (seed {}): oracle `{}` — {}",
+            f.case_index, f.case_seed, f.oracle, f.detail
+        );
+        println!(
+            "  shrunk {} -> {} steps in {} probes; minimized program:",
+            f.steps_before, f.steps_after, f.probes
+        );
+        for line in f.program.lines() {
+            println!("  | {line}");
+        }
+    }
+
+    eprintln!(
+        "elapsed: {:.1?} ({:.0} cases/s)",
+        elapsed,
+        summary.cases as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    let _ = std::io::stdout().flush();
+
+    if summary.failures.is_empty() {
+        println!("OK: zero oracle disagreements");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAILED: {} oracle disagreement(s)", summary.failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,346 @@
+//! The differential oracles.
+//!
+//! Every generated case is pushed through four independent cross-checks:
+//!
+//! 1. **Checker A/B** — the optimized obligation-discharge pipeline
+//!    (slicing + caching + indexed scopes), the serial variant, a variant
+//!    warmed by a persistent cross-case [`SharedCache`], and the naive
+//!    baseline ([`CheckOptions::naive`]) must reach the same verdict on the
+//!    same program — identical reports when it checks, matching
+//!    diagnostics when it does not. Sabotaged programs must be rejected;
+//!    clean programs must be accepted (the soundness direction of §4).
+//! 2. **Elaborate + simulate** — a program that type-checks must elaborate
+//!    and, under the exact-latency streaming protocol, every output must
+//!    equal the scenario interpreter's prediction on every cycle. A value
+//!    arriving one cycle off its timeline type is a timing violation and
+//!    shows up as a mismatch.
+//! 3. **Print/parse round-trip** — the printed program must re-parse to an
+//!    AST that prints identically.
+//! 4. **LA vs LI** — the elaborated (latency-abstract) netlist and its
+//!    mechanically wrapped ready–valid counterpart
+//!    ([`lilac_li::rv::auto_wrap`]) must compute bit-identical outputs
+//!    under the never-stalling handshake.
+
+use crate::scenario::{eval_gen, eval_steps, Scenario};
+use crate::synth::{Latency, Synthesized};
+use lilac_core::{check_program_with, CheckOptions, CheckReport};
+use lilac_elab::{elaborate_module, ElabConfig};
+use lilac_sim::Simulator;
+use lilac_solver::SharedCache;
+use lilac_util::diag::LilacError;
+use std::collections::BTreeMap;
+
+/// A single oracle disagreement (the fuzzer's unit of failure).
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Which oracle tripped.
+    pub oracle: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl Failure {
+    fn new(oracle: &'static str, detail: impl Into<String>) -> Failure {
+        Failure { oracle, detail: detail.into() }
+    }
+}
+
+/// Statistics describing one successfully cross-checked case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CaseStats {
+    /// Modules in the synthesized program.
+    pub modules: usize,
+    /// Proof obligations discharged by the optimized checker.
+    pub obligations: usize,
+    /// Solver queries issued by the optimized checker.
+    pub queries: u64,
+    /// Whether the program type-checked (false for sabotaged cases).
+    pub checked_ok: bool,
+    /// Cycles simulated across the value and LA/LI oracles.
+    pub cycles: u64,
+}
+
+/// Session state shared across cases: the persistent cross-program solver
+/// cache (itself under test — a stale or colliding entry would make the
+/// warm configuration diverge from the cold one).
+#[derive(Default)]
+pub struct Session {
+    shared: Option<SharedCache>,
+}
+
+impl Session {
+    /// A session with a persistent shared solver cache.
+    pub fn new() -> Session {
+        Session { shared: Some(SharedCache::new()) }
+    }
+
+    /// A session without the cross-case cache (used while shrinking, so a
+    /// candidate's verdict never depends on earlier probes).
+    pub fn without_shared_cache() -> Session {
+        Session { shared: None }
+    }
+
+    /// Number of entries accumulated in the shared cache.
+    pub fn shared_cache_entries(&self) -> usize {
+        self.shared.as_ref().map(SharedCache::len).unwrap_or(0)
+    }
+}
+
+/// Diagnostics comparison that tolerates differing counterexample *models*:
+/// the naive and optimized pipelines must refute the same obligations with
+/// the same messages, but a refuted cube can have many integer models and
+/// the two pipelines may enumerate different ones.
+pub(crate) fn errors_agree(a: &LilacError, b: &LilacError) -> bool {
+    let strip = |e: &LilacError| -> Vec<String> {
+        e.diagnostics()
+            .iter()
+            .map(|d| {
+                let mut s = format!("{:?}|{}", d.kind, d.message);
+                for (note, _) in &d.notes {
+                    let note = match note.find("counterexample") {
+                        Some(at) => &note[..at],
+                        None => note.as_str(),
+                    };
+                    s.push('|');
+                    s.push_str(note);
+                }
+                let mut msg = s;
+                if let Some(at) = msg.find("; counterexample") {
+                    msg.truncate(at);
+                }
+                msg
+            })
+            .collect()
+    };
+    strip(a) == strip(b)
+}
+
+fn describe_check(r: &Result<CheckReport, LilacError>) -> String {
+    match r {
+        Ok(report) => format!(
+            "Ok({} components, {} obligations, {} proved)",
+            report.components.len(),
+            report.total_obligations(),
+            report.components.iter().map(|c| c.proved).sum::<usize>()
+        ),
+        Err(e) => format!("Err({} diagnostics: {})", e.diagnostics().len(), e.primary()),
+    }
+}
+
+/// Oracle 1: the four checker configurations must agree with each other and
+/// with the scenario's expectation. Returns the optimized report on success.
+fn checker_ab(
+    synth: &Synthesized,
+    session: &Session,
+) -> Result<Result<CheckReport, LilacError>, Failure> {
+    let fast = check_program_with(&synth.program, &CheckOptions::default());
+    let serial = check_program_with(
+        &synth.program,
+        &CheckOptions { parallel: false, ..CheckOptions::default() },
+    );
+    let naive = check_program_with(&synth.program, &CheckOptions::naive());
+    let mut configs: Vec<(&'static str, &Result<CheckReport, LilacError>)> =
+        vec![("serial", &serial), ("naive", &naive)];
+    let warm;
+    if let Some(shared) = &session.shared {
+        let mut opts = CheckOptions::default();
+        opts.solver_config.shared_cache = Some(shared.clone());
+        warm = check_program_with(&synth.program, &opts);
+        configs.push(("warm-shared-cache", &warm));
+    }
+    for (name, other) in configs {
+        let agree = match (&fast, other) {
+            (Ok(a), Ok(b)) => a.equivalent(b),
+            (Err(a), Err(b)) => errors_agree(a, b),
+            _ => false,
+        };
+        if !agree {
+            return Err(Failure::new(
+                "checker-ab",
+                format!(
+                    "optimized and {name} checkers disagree: {} vs {}",
+                    describe_check(&fast),
+                    describe_check(other)
+                ),
+            ));
+        }
+    }
+    if fast.is_ok() != synth.expect_check_ok {
+        let oracle =
+            if synth.expect_check_ok { "well-typed-rejected" } else { "ill-timed-accepted" };
+        return Err(Failure::new(oracle, describe_check(&fast)));
+    }
+    Ok(fast)
+}
+
+/// Oracle 3: print → parse → print must be a fixpoint.
+fn round_trip(synth: &Synthesized) -> Result<(), Failure> {
+    let printed = lilac_ast::printer::print_program(&synth.program);
+    let (reparsed, _map) = lilac_ast::parse_program("fuzz.lilac", &printed)
+        .map_err(|e| Failure::new("round-trip-parse", format!("{e}\n---\n{printed}")))?;
+    let reprinted = lilac_ast::printer::print_program(&reparsed);
+    if printed != reprinted {
+        let diff = printed
+            .lines()
+            .zip(reprinted.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("first differing line:\n  printed:   {a}\n  reprinted: {b}"))
+            .unwrap_or_else(|| "programs differ in length".to_string());
+        return Err(Failure::new("round-trip-print", diff));
+    }
+    if reparsed.modules.len() != synth.program.modules.len() {
+        return Err(Failure::new("round-trip-modules", "module count changed"));
+    }
+    Ok(())
+}
+
+/// One output to check while driving a netlist: name, arrival latency, and
+/// the expected value for each stimulus vector.
+pub type DrivenOutput = (String, u64, Vec<u64>);
+
+/// Oracles 2 and 4, shared with the corpus replayer: drive `netlist` and
+/// its auto-wrapped LI counterpart with the exact-latency streaming
+/// protocol. At cycle `c` the stimulus vector `c mod m` is applied and
+/// every listed output with latency `t <= c` must equal its expected value
+/// for vector `(c - t) mod m`; every output of the core (not only the
+/// listed ones) must match the LI wrapper bit-for-bit on every cycle.
+/// Returns the number of cycles driven.
+pub(crate) fn drive_netlist(
+    netlist: &lilac_ir::Netlist,
+    inputs: &[String],
+    stimuli: &[Vec<u64>],
+    outputs: &[DrivenOutput],
+) -> Result<u64, Failure> {
+    let stimuli: Vec<Vec<u64>> =
+        if stimuli.is_empty() { vec![vec![0; inputs.len()]] } else { stimuli.to_vec() };
+    let m = stimuli.len();
+    for (k, stim) in stimuli.iter().enumerate() {
+        if stim.len() != inputs.len() {
+            return Err(Failure::new(
+                "stimulus",
+                format!("vector {k} has {} values for {} inputs", stim.len(), inputs.len()),
+            ));
+        }
+    }
+    for (name, _, values) in outputs {
+        if values.len() != m {
+            return Err(Failure::new(
+                "stimulus",
+                format!("output `{name}` has {} expected values for {m} vectors", values.len()),
+            ));
+        }
+    }
+    let max_lat = outputs.iter().map(|(_, l, _)| *l).max().unwrap_or(0);
+
+    let mut sim = Simulator::new(netlist)
+        .map_err(|e| Failure::new("simulate", format!("netlist rejected: {e}")))?;
+    let wrapped = lilac_li::rv::auto_wrap(netlist, max_lat as u32);
+    let mut li_sim = Simulator::new(&wrapped)
+        .map_err(|e| Failure::new("la-li", format!("wrapped netlist rejected: {e}")))?;
+    li_sim.set_input("valid_i", 1);
+    li_sim.set_input("ready_i", 1);
+    // The LA/LI comparison covers every output the netlist exposes, not
+    // just the ones with recorded expected values.
+    let all_outputs = sim.output_names();
+
+    let total = max_lat + (2 * m as u64) + 2;
+    for c in 0..total {
+        let stim = &stimuli[(c as usize) % m];
+        for (k, name) in inputs.iter().enumerate() {
+            sim.set_input(name, stim[k]);
+            li_sim.set_input(name, stim[k]);
+        }
+        for (name, lat, values) in outputs {
+            if c < *lat {
+                continue;
+            }
+            let want = values[((c - lat) as usize) % m];
+            let got = sim.peek(name);
+            if got != want {
+                return Err(Failure::new(
+                    "value",
+                    format!(
+                        "output `{name}` at cycle {c} (latency {lat}): simulated {got:#x}, expected {want:#x}"
+                    ),
+                ));
+            }
+        }
+        for name in &all_outputs {
+            let got = sim.peek(name);
+            let li_got = li_sim.peek(name);
+            if li_got != got {
+                return Err(Failure::new(
+                    "la-li",
+                    format!(
+                        "output `{name}` at cycle {c}: LA netlist {got:#x}, LI wrapper {li_got:#x}"
+                    ),
+                ));
+            }
+        }
+        sim.step();
+        li_sim.step();
+    }
+    Ok(total)
+}
+
+/// Elaborates a synthesized program and runs [`drive_netlist`] against the
+/// scenario interpreter's predictions.
+fn simulate(scenario: &Scenario, synth: &Synthesized) -> Result<u64, Failure> {
+    let params = BTreeMap::from([("W".to_string(), synth.width)]);
+    let module = elaborate_module(&synth.program, synth.top, &params, &ElabConfig::default())
+        .map_err(|e| {
+            Failure::new("elaborate", format!("type-checked program failed to elaborate: {e}"))
+        })?;
+
+    let stimuli: Vec<Vec<u64>> = if scenario.stimuli.is_empty() {
+        vec![vec![0; scenario.n_inputs]]
+    } else {
+        scenario.stimuli.clone()
+    };
+    // Resolve symbolic output latencies through the elaborated out-params
+    // and predict every output value with the scenario interpreter.
+    let mut outputs: Vec<DrivenOutput> = Vec::new();
+    for out in &synth.outputs {
+        let lat = match &out.latency {
+            Latency::Concrete(t) => *t,
+            Latency::OutParam(p) => *module.out_params.get(p).ok_or_else(|| {
+                Failure::new("elaborate", format!("missing output parameter `{p}`"))
+            })?,
+        };
+        let values: Vec<u64> = stimuli
+            .iter()
+            .map(|stim| {
+                let vals = eval_steps(&scenario.steps, stim, scenario.width, &scenario.subs);
+                match out.step {
+                    Some(s) => vals[s],
+                    None => {
+                        let (a, b) = scenario.gen_block.expect("og implies gen block");
+                        eval_gen(vals[a], vals[b], scenario.width)
+                    }
+                }
+            })
+            .collect();
+        outputs.push((out.name.clone(), lat, values));
+    }
+
+    drive_netlist(&module.netlist, &synth.inputs, &stimuli, &outputs)
+}
+
+/// Runs every oracle over one scenario. `Err` carries the first
+/// disagreement; `Ok` carries the case statistics.
+pub fn run_case(scenario: &Scenario, session: &Session) -> Result<CaseStats, Failure> {
+    let synth = crate::synth::synthesize(scenario);
+    round_trip(&synth)?;
+    let check = checker_ab(&synth, session)?;
+    let mut stats = CaseStats {
+        modules: synth.program.modules.len(),
+        checked_ok: check.is_ok(),
+        ..CaseStats::default()
+    };
+    if let Ok(report) = &check {
+        stats.obligations = report.total_obligations();
+        stats.queries = report.solver_stats().queries as u64;
+        stats.cycles = simulate(scenario, &synth)?;
+    }
+    Ok(stats)
+}

@@ -1,0 +1,313 @@
+//! Greedy scenario shrinking.
+//!
+//! Shrinking operates on the scenario IR, not on Lilac text: every candidate
+//! is re-synthesized, so each one is still a structurally valid program and
+//! the failing oracle re-judges it whole. The passes are applied greedily —
+//! any candidate that still fails replaces the current scenario — and the
+//! loop runs to a fixpoint (bounded by a probe budget).
+//!
+//! Passes, in order of expected payoff:
+//!
+//! 1. drop the generator block, sabotage, and surplus outputs;
+//! 2. drop whole steps, rewiring consumers to a same-class predecessor;
+//! 3. simplify individual steps (deep shifts → registers, sub-component
+//!    calls and muxes → plain adds, inline shifts → `Shift` instances);
+//! 4. shrink the datapath width and the stimulus set.
+
+use crate::oracle::Failure;
+use crate::scenario::{classes, Scenario, Step};
+
+/// Result of a shrink run.
+#[derive(Clone, Debug)]
+pub struct Shrunk {
+    /// The minimized scenario.
+    pub scenario: Scenario,
+    /// The failure the minimized scenario still produces.
+    pub failure: Failure,
+    /// Number of candidate scenarios probed.
+    pub probes: usize,
+    /// Steps before and after.
+    pub steps_before: usize,
+    pub steps_after: usize,
+}
+
+/// Removes step `victim` (never an input), rewiring consumers to a
+/// same-class earlier step. Returns `None` when no replacement exists.
+fn drop_step(s: &Scenario, victim: usize) -> Option<Scenario> {
+    let cls = classes(&s.steps);
+    if matches!(s.steps[victim], Step::Input(_)) {
+        return None;
+    }
+    // A step nothing references can go without a replacement.
+    let referenced = s.steps.iter().any(|st| st.args().contains(&victim))
+        || s.outputs.contains(&victim)
+        || s.gen_block.is_some_and(|(a, b)| a == victim || b == victim)
+        || s.sabotage.is_some_and(|sab| sab.step() == victim);
+    // Otherwise prefer the victim's own first same-class operand as the
+    // replacement, then any earlier step of the same class.
+    let replacement = if referenced {
+        s.steps[victim]
+            .args()
+            .into_iter()
+            .find(|&a| cls[a] == cls[victim])
+            .or_else(|| (0..victim).find(|&i| cls[i] == cls[victim]))?
+    } else {
+        0 // unused: nothing maps to the victim
+    };
+    let remap = |i: usize| -> usize {
+        let i = if i == victim { replacement } else { i };
+        if i > victim {
+            i - 1
+        } else {
+            i
+        }
+    };
+    let mut steps = Vec::with_capacity(s.steps.len() - 1);
+    for (i, step) in s.steps.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        let mut step = step.clone();
+        step.map_args(remap);
+        steps.push(step);
+    }
+    let mut outputs: Vec<usize> = s.outputs.iter().map(|&o| remap(o)).collect();
+    outputs.dedup();
+    let sabotage = s.sabotage.and_then(|sab| {
+        if sab.step() == victim {
+            None
+        } else {
+            Some(match sab {
+                crate::scenario::Sabotage::Late(i) => crate::scenario::Sabotage::Late(remap(i)),
+                crate::scenario::Sabotage::Early(i) => crate::scenario::Sabotage::Early(remap(i)),
+            })
+        }
+    });
+    Some(Scenario {
+        steps,
+        outputs,
+        gen_block: s.gen_block.map(|(a, b)| (remap(a), remap(b))),
+        sabotage,
+        ..s.clone()
+    })
+}
+
+/// Replaces step `i` with a simpler same-class operation, if one exists.
+fn simplify_step(s: &Scenario, i: usize) -> Option<Scenario> {
+    let cls = classes(&s.steps);
+    let simpler = match &s.steps[i] {
+        Step::Shift { arg, depth, inline } if *inline => {
+            Step::Shift { arg: *arg, depth: *depth, inline: false }
+        }
+        Step::Shift { arg, depth, .. } if *depth > 1 => {
+            Step::Shift { arg: *arg, depth: depth - 1, inline: false }
+        }
+        Step::Shift { arg, .. } => Step::Reg(*arg),
+        Step::SubComp { args, .. } => {
+            let a = *args.first()?;
+            Step::Comb(crate::scenario::CombOp::Add, a, a)
+        }
+        Step::Mux { a, b, .. } if cls[*a] == cls[*b] => {
+            Step::Comb(crate::scenario::CombOp::Add, *a, *b)
+        }
+        Step::Comb(op, a, b) if *op != crate::scenario::CombOp::Add => {
+            Step::Comb(crate::scenario::CombOp::Add, *a, *b)
+        }
+        Step::Reg(a) => Step::Not(*a),
+        _ => return None,
+    };
+    if simpler == s.steps[i] {
+        return None;
+    }
+    let mut steps = s.steps.clone();
+    steps[i] = simpler;
+    Some(Scenario { steps, ..s.clone() })
+}
+
+/// Drops sub-components that no step references any more, remapping
+/// [`Step::SubComp`] indices.
+fn drop_unused_subs(s: &Scenario) -> Option<Scenario> {
+    let used: Vec<bool> = (0..s.subs.len())
+        .map(|k| s.steps.iter().any(|st| matches!(st, Step::SubComp { comp, .. } if *comp == k)))
+        .collect();
+    if used.iter().all(|&u| u) {
+        return None;
+    }
+    let remap: Vec<usize> = {
+        let mut next = 0usize;
+        used.iter()
+            .map(|&u| {
+                let idx = next;
+                if u {
+                    next += 1;
+                }
+                idx
+            })
+            .collect()
+    };
+    let subs =
+        s.subs.iter().zip(used.iter()).filter(|(_, &u)| u).map(|(sub, _)| sub.clone()).collect();
+    let mut steps = s.steps.clone();
+    for st in &mut steps {
+        if let Step::SubComp { comp, .. } = st {
+            *comp = remap[*comp];
+        }
+    }
+    Some(Scenario { subs, steps, ..s.clone() })
+}
+
+/// Greedily minimizes `scenario` while `fails` keeps returning a failure.
+///
+/// `fails` must return `Some` for the input scenario; the returned
+/// [`Shrunk`] carries the smallest still-failing scenario found within the
+/// probe budget.
+pub fn shrink(
+    scenario: &Scenario,
+    failure: Failure,
+    mut fails: impl FnMut(&Scenario) -> Option<Failure>,
+) -> Shrunk {
+    const MAX_PROBES: usize = 400;
+    let steps_before = scenario.steps.len();
+    let mut best = scenario.clone();
+    let mut best_failure = failure;
+    let mut probes = 0usize;
+
+    let mut try_candidate = |cand: Scenario,
+                             best: &mut Scenario,
+                             best_failure: &mut Failure,
+                             probes: &mut usize|
+     -> bool {
+        if *probes >= MAX_PROBES {
+            return false;
+        }
+        *probes += 1;
+        if let Some(f) = fails(&cand) {
+            *best = cand;
+            *best_failure = f;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop heavyweight extras.
+        if best.gen_block.is_some() {
+            let cand = Scenario { gen_block: None, ..best.clone() };
+            improved |= try_candidate(cand, &mut best, &mut best_failure, &mut probes);
+        }
+        while best.outputs.len() > 1 {
+            let mut cand = best.clone();
+            cand.outputs.pop();
+            if !try_candidate(cand, &mut best, &mut best_failure, &mut probes) {
+                break;
+            }
+            improved = true;
+        }
+
+        // Pass 2: drop steps, latest first (their consumers are fewest).
+        let mut i = best.steps.len();
+        while i > 0 {
+            i -= 1;
+            if let Some(cand) = drop_step(&best, i) {
+                if try_candidate(cand, &mut best, &mut best_failure, &mut probes) {
+                    improved = true;
+                    i = i.min(best.steps.len());
+                }
+            }
+        }
+        if let Some(cand) = drop_unused_subs(&best) {
+            improved |= try_candidate(cand, &mut best, &mut best_failure, &mut probes);
+        }
+
+        // Pass 3: simplify surviving steps.
+        for i in 0..best.steps.len() {
+            if let Some(cand) = simplify_step(&best, i) {
+                improved |= try_candidate(cand, &mut best, &mut best_failure, &mut probes);
+            }
+        }
+
+        // Pass 4: shrink width and stimulus.
+        if best.width > 1 {
+            let cand = Scenario { width: 1, ..best.clone() };
+            improved |= try_candidate(cand, &mut best, &mut best_failure, &mut probes);
+        }
+        if best.stimuli.len() > 1 {
+            let cand = Scenario { stimuli: best.stimuli[..1].to_vec(), ..best.clone() };
+            improved |= try_candidate(cand, &mut best, &mut best_failure, &mut probes);
+        }
+
+        if !improved || probes >= MAX_PROBES {
+            break;
+        }
+    }
+
+    Shrunk {
+        steps_after: best.steps.len(),
+        scenario: best,
+        failure: best_failure,
+        probes,
+        steps_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{generate, CombOp};
+
+    /// Shrinking against a synthetic predicate ("the scenario still contains
+    /// a Mul") must converge to a tiny scenario that still contains one.
+    #[test]
+    fn shrinks_to_a_minimal_mul() {
+        let mut found = None;
+        for seed in 0..500 {
+            let s = generate(seed);
+            if s.steps.iter().any(|st| matches!(st, Step::Comb(CombOp::Mul, ..))) {
+                found = Some(s);
+                break;
+            }
+        }
+        let scenario = found.expect("some scenario contains a Mul");
+        let has_mul = |s: &Scenario| {
+            s.steps
+                .iter()
+                .any(|st| matches!(st, Step::Comb(CombOp::Mul, ..)))
+                .then(|| Failure { oracle: "test", detail: "still has mul".into() })
+        };
+        let shrunk = shrink(&scenario, has_mul(&scenario).unwrap(), has_mul);
+        assert!(shrunk.steps_after <= shrunk.steps_before);
+        assert!(has_mul(&shrunk.scenario).is_some());
+        // A Mul plus its operand chain should fit in a handful of steps
+        // (inputs are never dropped, so up to 3 stay).
+        assert!(
+            shrunk.scenario.steps.len() <= 6,
+            "expected a tiny scenario, got {:?}",
+            shrunk.scenario.steps
+        );
+        assert!(shrunk.scenario.gen_block.is_none());
+        assert!(
+            shrunk.scenario.subs.is_empty()
+                || shrunk.scenario.steps.iter().any(|st| matches!(st, Step::SubComp { .. }))
+        );
+    }
+
+    /// Shrunk candidates must remain structurally valid scenarios.
+    #[test]
+    fn candidates_stay_well_formed() {
+        for seed in 0..40 {
+            let s = generate(seed);
+            let always = |s: &Scenario| {
+                // Synthesize every candidate to catch structural breakage.
+                let synth = crate::synth::synthesize(s);
+                (synth.program.modules.len() > 1)
+                    .then(|| Failure { oracle: "test", detail: String::new() })
+            };
+            let shrunk = shrink(&s, Failure { oracle: "test", detail: String::new() }, always);
+            assert!(!shrunk.scenario.steps.is_empty());
+            assert!(!shrunk.scenario.outputs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Replays the checked-in regression corpus (`fuzz/corpus/*.lilac`) as
+//! ordinary tests: every file must parse, round-trip, get the recorded
+//! checker verdict from every checker configuration, elaborate to the
+//! recorded output parameters, and simulate cycle-exactly to the recorded
+//! values (plus the LA/LI wrapper oracle).
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+#[test]
+fn corpus_exists_and_is_substantial() {
+    let entries: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("fuzz/corpus directory exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "lilac"))
+        .collect();
+    assert!(entries.len() >= 15, "expected a substantial corpus, found {} files", entries.len());
+}
+
+#[test]
+fn every_corpus_case_replays() {
+    let mut ran = 0;
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("fuzz/corpus directory exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lilac"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("corpus file reads");
+        lilac_fuzz::corpus::run_text(&text)
+            .unwrap_or_else(|e| panic!("{} failed to replay: {e}", path.display()));
+        ran += 1;
+    }
+    assert!(ran >= 15);
+}
+
+/// The corpus contains the feature mix the fuzzer generates: generator
+/// blocks, sub-components, and sabotaged (rejected) programs.
+#[test]
+fn corpus_covers_the_feature_mix() {
+    let mut gen = 0;
+    let mut sub = 0;
+    let mut reject = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|x| x != "lilac") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if name.contains("_gen") {
+            gen += 1;
+        }
+        if name.contains("_sub") {
+            sub += 1;
+        }
+        if name.contains("_reject") {
+            reject += 1;
+        }
+    }
+    assert!(gen >= 3, "want generator-block cases, found {gen}");
+    assert!(sub >= 3, "want sub-component cases, found {sub}");
+    assert!(reject >= 3, "want rejected cases, found {reject}");
+}

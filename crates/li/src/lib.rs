@@ -126,6 +126,42 @@ pub mod rv {
         (fire, busy)
     }
 
+    /// Wraps an arbitrary elaborated core in a ready–valid shell: the
+    /// latency-insensitive counterpart the paper's baselines hand-write,
+    /// produced mechanically for *any* latency-abstract design.
+    ///
+    /// The wrapper re-exposes every data input of `core`, adds `valid_i` /
+    /// `ready_i` handshake inputs, tracks validity through a `latency`-deep
+    /// valid pipe, and routes every output of the core through a skid
+    /// buffer. Outputs are re-exported under their core names plus a
+    /// `valid_o` strobe.
+    ///
+    /// Functional contract (the fuzzer's LA/LI differential oracle): with
+    /// `valid_i` and `ready_i` held high, every data output of the wrapper
+    /// equals the corresponding core output on every cycle — the handshake
+    /// machinery must be purely additive when nobody ever stalls.
+    pub fn auto_wrap(core: &Netlist, latency: u32) -> Netlist {
+        let mut n = Netlist::new(format!("li_{}", core.name));
+        let valid_i = n.add_input("valid_i", 1);
+        let ready_i = n.add_input("ready_i", 1);
+        let mut drivers = std::collections::HashMap::new();
+        for port in &core.inputs {
+            let id = n.add_input(port.name.clone(), port.width);
+            drivers.insert(port.name.clone(), id);
+        }
+        let outs = n.inline(core, &drivers, "core");
+        let out_valid = add_valid_pipe(&mut n, valid_i, latency);
+        // Stable output order: follow the core's own output declaration
+        // order rather than the HashMap the inliner returns.
+        for (port, _) in &core.outputs {
+            let node = outs[&port.name];
+            let (held, _held_valid) = add_skid_buffer(&mut n, node, out_valid, ready_i, port.width);
+            n.add_output(port.name.clone(), held);
+        }
+        n.add_output("valid_o", out_valid);
+        n
+    }
+
     /// Rewires the first operand of a sequential node (used to close FSM and
     /// counter feedback loops after all the combinational logic exists).
     pub fn rewire_first_input(n: &mut Netlist, node: NodeId, new_input: NodeId) {
@@ -484,6 +520,36 @@ mod tests {
         };
         assert!(measure(1) > measure(4));
         assert!(measure(4) > measure(16));
+    }
+
+    #[test]
+    fn auto_wrap_is_transparent_when_never_stalled() {
+        use lilac_sim::Simulator;
+        // Wrap the LS FPU; with valid/ready held high the wrapper must be a
+        // bit-exact passthrough of the core on every cycle.
+        let core = fpu::ls_fpu(16, 3, 1);
+        let wrapped = rv::auto_wrap(&core, 3);
+        assert!(wrapped.validate().is_ok());
+        assert!(wrapped.combinational_order().is_some());
+        let cost_core = estimate(&core);
+        let cost_wrapped = estimate(&wrapped);
+        assert!(cost_wrapped.registers > cost_core.registers, "the shell must cost something");
+
+        let mut core_sim = Simulator::new(&core).unwrap();
+        let mut li_sim = Simulator::new(&wrapped).unwrap();
+        li_sim.set_input("valid_i", 1);
+        li_sim.set_input("ready_i", 1);
+        let mut x: u64 = 7;
+        for _ in 0..16 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for (name, v) in [("a", x & 0xFFFF), ("b", (x >> 16) & 0xFFFF), ("op", (x >> 32) & 1)] {
+                core_sim.set_input(name, v);
+                li_sim.set_input(name, v);
+            }
+            assert_eq!(core_sim.peek("o"), li_sim.peek("o"));
+            core_sim.step();
+            li_sim.step();
+        }
     }
 
     #[test]

@@ -180,6 +180,13 @@ impl Simulator {
         self.cycle
     }
 
+    /// Names of the netlist's outputs, in declaration order. Differential
+    /// harnesses use this to compare two simulators port by port without
+    /// holding onto the netlist.
+    pub fn output_names(&self) -> Vec<String> {
+        self.netlist.outputs.iter().map(|(p, _)| p.name.clone()).collect()
+    }
+
     /// Convenience driver: applies each input map for one cycle and collects
     /// every output after that cycle's clock edge.
     pub fn run_trace(&mut self, stimulus: &[HashMap<String, u64>]) -> Vec<HashMap<String, u64>> {
