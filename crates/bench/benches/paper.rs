@@ -112,8 +112,42 @@ fn bench_solver_ab() {
     );
 }
 
+fn bench_vsim() {
+    use lilac_ir::NodeKind;
+    println!("-- Verilog oracle: emit + parse + 64-cycle differential simulation --");
+    // The netlist the fifth oracle pays for on every fuzz case, at a
+    // representative size: the hand-scheduled FPU plus a delay-line tail.
+    let mut n = lilac_li::fpu::ls_fpu(32, 4, 2);
+    let o = n.output("o").expect("ls fpu output");
+    let tail = n.add_node(NodeKind::Delay(3), vec![o], 32, "tail");
+    n.add_output("o_tail", tail);
+    bench("vsim/emit ls_fpu(32,4,2)", 50, || {
+        std::hint::black_box(lilac_ir::emit_verilog(&n));
+    });
+    let verilog = lilac_ir::emit_verilog(&n);
+    bench("vsim/parse ls_fpu(32,4,2)", 50, || {
+        lilac_vsim::parse_design(std::hint::black_box(&verilog)).expect("parses");
+    });
+    let design = lilac_vsim::parse_design(&verilog).expect("parses");
+    bench("vsim/simulate 64 cycles vs lilac-sim", 20, || {
+        let mut vsim = lilac_vsim::VSimulator::new(&design).expect("simulatable");
+        let mut sim = lilac_sim::Simulator::new(&n).expect("valid");
+        for c in 0..64u64 {
+            for name in ["a", "b"] {
+                sim.set_input(name, c * 7 + 1);
+                vsim.set_input(name, c * 7 + 1);
+            }
+            sim.set_input("op", c & 1);
+            vsim.set_input("op", c & 1);
+            assert_eq!(sim.peek("o_tail"), vsim.peek("o_tail"));
+            sim.step();
+            vsim.step();
+        }
+    });
+}
+
 fn bench_fuzz() {
-    println!("-- fuzz throughput: generate + check x4 + elaborate + simulate x2 per case --");
+    println!("-- fuzz throughput: generate + check x4 + elaborate + simulate x3 per case --");
     let row = lilac_bench::fuzz_throughput(150, 0);
     println!(
         "fuzz/150-cases                                         {:>12.3?}   {:>7.0} cases/s   \
@@ -127,6 +161,7 @@ fn main() {
     bench_typecheck();
     bench_elaborate();
     bench_exhibits();
+    bench_vsim();
     bench_fuzz();
     bench_solver_ab();
 }

@@ -5,7 +5,7 @@
 //! *well-typed-by-construction* Lilac programs — compositions of standard
 //! library components, loops and bundles, parameterized generated
 //! sub-components, and FloPoCo generator invocations — and pushes each one
-//! through four differential oracles (see [`oracle`]):
+//! through five differential oracles (see [`oracle`]):
 //!
 //! 1. every checker configuration (optimized / serial / shared-cache /
 //!    naive) reaches the same verdict;
@@ -14,7 +14,10 @@
 //!    soundness claim, observed dynamically);
 //! 3. printing and re-parsing is a fixpoint;
 //! 4. the latency-abstract netlist and its mechanically wrapped
-//!    latency-insensitive counterpart compute identical values.
+//!    latency-insensitive counterpart compute identical values;
+//! 5. the netlist's emitted Verilog, parsed and cycle-accurately simulated
+//!    by `lilac-vsim`, matches `lilac-sim` output-for-output on every
+//!    cycle (the backend oracle).
 //!
 //! A sixth of the cases carry a deliberate one-cycle timing fault and must
 //! be *rejected* — identically — by every checker configuration.

@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! Every generated case is pushed through four independent cross-checks:
+//! Every generated case is pushed through five independent cross-checks:
 //!
 //! 1. **Checker A/B** — the optimized obligation-discharge pipeline
 //!    (slicing + caching + indexed scopes), the serial variant, a variant
@@ -20,6 +20,12 @@
 //!    mechanically wrapped ready–valid counterpart
 //!    ([`lilac_li::rv::auto_wrap`]) must compute bit-identical outputs
 //!    under the never-stalling handshake.
+//! 5. **Verilog backend** — the netlist's emitted Verilog
+//!    ([`lilac_ir::emit_verilog`]) must parse under `lilac-vsim` and the
+//!    parsed design, simulated cycle-accurately, must match `lilac-sim` on
+//!    every output of every cycle. This is the oracle that caught the
+//!    backend's off-by-one pipeline depths (a latency-`L` core emitting
+//!    `L + 1` registers).
 
 use crate::scenario::{eval_gen, eval_steps, Scenario};
 use crate::synth::{Latency, Synthesized};
@@ -198,12 +204,13 @@ fn round_trip(synth: &Synthesized) -> Result<(), Failure> {
 /// the expected value for each stimulus vector.
 pub type DrivenOutput = (String, u64, Vec<u64>);
 
-/// Oracles 2 and 4, shared with the corpus replayer: drive `netlist` and
-/// its auto-wrapped LI counterpart with the exact-latency streaming
-/// protocol. At cycle `c` the stimulus vector `c mod m` is applied and
-/// every listed output with latency `t <= c` must equal its expected value
-/// for vector `(c - t) mod m`; every output of the core (not only the
-/// listed ones) must match the LI wrapper bit-for-bit on every cycle.
+/// Oracles 2, 4 and 5, shared with the corpus replayer: drive `netlist`,
+/// its auto-wrapped LI counterpart, and the `lilac-vsim` simulation of its
+/// emitted Verilog with the exact-latency streaming protocol. At cycle `c`
+/// the stimulus vector `c mod m` is applied and every listed output with
+/// latency `t <= c` must equal its expected value for vector `(c - t) mod
+/// m`; every output of the core (not only the listed ones) must match both
+/// the LI wrapper and the Verilog simulation bit-for-bit on every cycle.
 /// Returns the number of cycles driven.
 pub(crate) fn drive_netlist(
     netlist: &lilac_ir::Netlist,
@@ -243,12 +250,50 @@ pub(crate) fn drive_netlist(
     // just the ones with recorded expected values.
     let all_outputs = sim.output_names();
 
+    // Oracle 5: the emitted Verilog, parsed and simulated by lilac-vsim.
+    // Ports are matched positionally (emission preserves declaration order;
+    // sanitization may legally rename them).
+    let verilog = lilac_ir::emit_verilog(netlist);
+    let vdesign = lilac_vsim::parse_design(&verilog).map_err(|e| {
+        Failure::new("verilog-parse", format!("emitted Verilog rejected: {e}\n---\n{verilog}"))
+    })?;
+    let mut vsim = lilac_vsim::VSimulator::new(&vdesign).map_err(|e| {
+        Failure::new("verilog-elab", format!("emitted Verilog unsimulatable: {e}\n---\n{verilog}"))
+    })?;
+    let v_inputs = vsim.input_names();
+    let v_outputs = vsim.output_names();
+    if v_inputs.len() != netlist.inputs.len() || v_outputs.len() != all_outputs.len() {
+        return Err(Failure::new(
+            "verilog-ports",
+            format!(
+                "emitted module has {}+{} data ports for a netlist with {}+{}",
+                v_inputs.len(),
+                v_outputs.len(),
+                netlist.inputs.len(),
+                all_outputs.len()
+            ),
+        ));
+    }
+    // Stimulus input name -> position in the netlist's declaration order.
+    let v_input_for: Vec<&String> = inputs
+        .iter()
+        .map(|name| {
+            netlist
+                .inputs
+                .iter()
+                .position(|p| &p.name == name)
+                .map(|k| &v_inputs[k])
+                .ok_or_else(|| Failure::new("stimulus", format!("unknown input `{name}`")))
+        })
+        .collect::<Result<_, _>>()?;
+
     let total = max_lat + (2 * m as u64) + 2;
     for c in 0..total {
         let stim = &stimuli[(c as usize) % m];
         for (k, name) in inputs.iter().enumerate() {
             sim.set_input(name, stim[k]);
             li_sim.set_input(name, stim[k]);
+            vsim.set_input(v_input_for[k], stim[k]);
         }
         for (name, lat, values) in outputs {
             if c < *lat {
@@ -265,7 +310,7 @@ pub(crate) fn drive_netlist(
                 ));
             }
         }
-        for name in &all_outputs {
+        for (k, name) in all_outputs.iter().enumerate() {
             let got = sim.peek(name);
             let li_got = li_sim.peek(name);
             if li_got != got {
@@ -276,9 +321,19 @@ pub(crate) fn drive_netlist(
                     ),
                 ));
             }
+            let v_got = vsim.peek(&v_outputs[k]);
+            if v_got != got {
+                return Err(Failure::new(
+                    "verilog",
+                    format!(
+                        "output `{name}` at cycle {c}: lilac-sim {got:#x}, emitted Verilog {v_got:#x}"
+                    ),
+                ));
+            }
         }
         sim.step();
         li_sim.step();
+        vsim.step();
     }
     Ok(total)
 }

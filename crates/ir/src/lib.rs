@@ -31,4 +31,4 @@ pub mod netlist;
 pub mod verilog;
 
 pub use netlist::{Netlist, Node, NodeId, NodeKind, PipeOp};
-pub use verilog::emit_verilog;
+pub use verilog::{emit_verilog, VERILOG_KEYWORDS};

@@ -65,6 +65,8 @@ pub enum NodeKind {
     /// A register with a synchronous enable (second input, 1 bit).
     RegEn,
     /// An `n`-cycle delay line (equivalent to `n` chained registers).
+    /// `Delay(0)` is a combinational passthrough — see
+    /// [`NodeKind::pipeline_depth`].
     Delay(u32),
     /// Integer addition (two inputs).
     Add,
@@ -95,7 +97,8 @@ pub enum NodeKind {
     /// Concatenation of all inputs (first input is most significant).
     Concat,
     /// An externally generated pipelined core with the given latency and
-    /// initiation interval.
+    /// initiation interval. A `latency` of 0 makes the core combinational —
+    /// see [`NodeKind::pipeline_depth`].
     PipelinedOp {
         /// Operation implemented by the core.
         op: PipeOp,
@@ -107,12 +110,30 @@ pub enum NodeKind {
 }
 
 impl NodeKind {
-    /// True if the node holds state across clock cycles.
+    /// Number of clocked stages between the node's operands and its output.
+    ///
+    /// This is **the** zero-latency contract shared by every consumer of the
+    /// IR: the cycle-accurate simulator (`lilac-sim`), the Verilog backend
+    /// ([`crate::emit_verilog`]), and the in-repo Verilog simulator
+    /// (`lilac-vsim`) all derive their sequential behaviour from this one
+    /// number. In particular, `Delay(0)` and `PipelinedOp { latency: 0, .. }`
+    /// have depth 0 and are *combinational passthroughs*: their output equals
+    /// the (functionally evaluated) operands in the same cycle, they
+    /// contribute no registers, and a feedback loop through them is a
+    /// combinational cycle.
+    pub fn pipeline_depth(&self) -> u32 {
+        match self {
+            NodeKind::Reg | NodeKind::RegEn => 1,
+            NodeKind::Delay(n) => *n,
+            NodeKind::PipelinedOp { latency, .. } => *latency,
+            _ => 0,
+        }
+    }
+
+    /// True if the node holds state across clock cycles (i.e. its
+    /// [`pipeline_depth`](NodeKind::pipeline_depth) is non-zero).
     pub fn is_sequential(&self) -> bool {
-        matches!(
-            self,
-            NodeKind::Reg | NodeKind::RegEn | NodeKind::Delay(_) | NodeKind::PipelinedOp { .. }
-        )
+        self.pipeline_depth() > 0
     }
 }
 
@@ -485,5 +506,20 @@ mod tests {
         assert!(NodeKind::PipelinedOp { op: PipeOp::FAdd, latency: 4, ii: 1 }.is_sequential());
         assert!(!NodeKind::Add.is_sequential());
         assert_eq!(PipeOp::Conv { par: 4 }.mnemonic(), "conv");
+    }
+
+    #[test]
+    fn pipeline_depth_contract() {
+        // The shared zero-latency contract: depth equals the declared
+        // latency, and zero-depth nodes are combinational.
+        assert_eq!(NodeKind::Reg.pipeline_depth(), 1);
+        assert_eq!(NodeKind::RegEn.pipeline_depth(), 1);
+        assert_eq!(NodeKind::Delay(3).pipeline_depth(), 3);
+        assert_eq!(NodeKind::Delay(0).pipeline_depth(), 0);
+        assert!(!NodeKind::Delay(0).is_sequential());
+        let zero_lat = NodeKind::PipelinedOp { op: PipeOp::FMul, latency: 0, ii: 1 };
+        assert_eq!(zero_lat.pipeline_depth(), 0);
+        assert!(!zero_lat.is_sequential());
+        assert_eq!(NodeKind::Mux.pipeline_depth(), 0);
     }
 }

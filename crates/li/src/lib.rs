@@ -38,13 +38,24 @@ pub mod rv {
             stages.push(reg);
             current = reg;
         }
-        // Read pointer counter and output selection mux tree.
-        let ptr_width = 32 - depth.leading_zeros().max(1);
-        let one = n.add_const(1, ptr_width.max(1));
-        let ptr = n.add_node(NodeKind::Reg, vec![one], ptr_width.max(1), "fifo_rptr");
+        // Read pointer: a real wrapping counter. It advances whenever a beat
+        // is pushed and wraps at `depth - 1`, so every storage stage is
+        // eventually selected. (The historical bug fed the register the
+        // constant 1, leaving the pointer stuck and the mux tree dead.)
+        let ptr_width = (32 - depth.leading_zeros()).max(1);
+        let zero = n.add_const(0, ptr_width);
+        let one = n.add_const(1, ptr_width);
+        let ptr = n.add_node(NodeKind::Reg, vec![zero], ptr_width, "fifo_rptr");
+        let inc = n.add_node(NodeKind::Add, vec![ptr, one], ptr_width, "fifo_rptr_inc");
+        let last = n.add_const(depth as u64 - 1, ptr_width);
+        let at_last = n.add_node(NodeKind::Eq, vec![ptr, last], 1, "fifo_rptr_wrap");
+        let wrapped =
+            n.add_node(NodeKind::Mux, vec![at_last, zero, inc], ptr_width, "fifo_rptr_next");
+        let stepped = n.add_node(NodeKind::Mux, vec![push, wrapped, ptr], ptr_width, "fifo_rptr_q");
+        rewire_first_input(n, ptr, stepped);
         let mut selected = stages[0];
         for (k, &stage) in stages.iter().enumerate().skip(1) {
-            let k_const = n.add_const(k as u64, ptr_width.max(1));
+            let k_const = n.add_const(k as u64, ptr_width);
             let is_k = n.add_node(NodeKind::Eq, vec![ptr, k_const], 1, format!("fifo_sel{k}"));
             selected = n.add_node(
                 NodeKind::Mux,
@@ -549,6 +560,51 @@ mod tests {
             assert_eq!(core_sim.peek("o"), li_sim.peek("o"));
             core_sim.step();
             li_sim.step();
+        }
+    }
+
+    #[test]
+    fn fifo_read_pointer_is_a_wrapping_counter() {
+        use lilac_sim::Simulator;
+        // A depth-3 shift FIFO pushed every cycle. Stage k holds the value
+        // pushed k+1 edges ago and the read pointer is `edges mod 3`, so the
+        // output after edge e is the value pushed at edge e - (e mod 3). A
+        // stuck pointer (the historical bug: the register was fed the
+        // constant 1) would instead always present stage 1.
+        let mut n = Netlist::new("fifo");
+        let data = n.add_input("data", 16);
+        let push = n.add_input("push", 1);
+        let out = rv::add_fifo(&mut n, data, push, 16, 3);
+        n.add_output("o", out);
+        assert!(n.validate().is_ok());
+        assert!(n.combinational_order().is_some(), "pointer feedback must go through the register");
+
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("push", 1);
+        let mut got = Vec::new();
+        for t in 0..12u64 {
+            sim.set_input("data", 100 + t);
+            sim.step();
+            got.push(sim.output("o"));
+        }
+        let expected: Vec<u64> = (1..=12u64)
+            .map(|e| {
+                let k = e % 3;
+                if e > k {
+                    100 + (e - 1 - k)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        assert_eq!(got, expected, "read pointer must advance and wrap");
+        // The pointer visits every stage: the output sequence is not simply
+        // the input delayed by a constant (which is all a stuck pointer can
+        // produce when pushed every cycle).
+        for lag in 1..=3u64 {
+            let delayed: Vec<u64> =
+                (0..12u64).map(|t| if t >= lag { 100 + t - lag } else { 0 }).collect();
+            assert_ne!(got, delayed, "output must not be a fixed {lag}-cycle delay");
         }
     }
 

@@ -14,6 +14,12 @@
 //! were applied — exactly the latency-sensitive behaviour the type system
 //! reasons about.
 //!
+//! Sequential depth is taken from the one shared contract,
+//! [`NodeKind::pipeline_depth`]: a `Delay(0)` or a `latency = 0` core has
+//! depth 0 and is evaluated *combinationally*, exactly as the Verilog
+//! backend renders it (a continuous assign). There is deliberately no
+//! `max(1)` clamp anywhere in this crate.
+//!
 //! # Example
 //!
 //! ```
@@ -66,12 +72,9 @@ impl Simulator {
         let n = netlist.node_count();
         let mut state = vec![VecDeque::new(); n];
         for (id, node) in netlist.iter() {
-            let depth = match &node.kind {
-                NodeKind::Reg | NodeKind::RegEn => 1,
-                NodeKind::Delay(d) => (*d).max(1) as usize,
-                NodeKind::PipelinedOp { latency, .. } => (*latency).max(1) as usize,
-                _ => 0,
-            };
+            // The zero-latency contract lives in `NodeKind::pipeline_depth`:
+            // depth-0 nodes carry no state and evaluate combinationally.
+            let depth = node.kind.pipeline_depth() as usize;
             state[id.0 as usize] = VecDeque::from(vec![0u64; depth]);
         }
         Ok(Simulator {
@@ -129,6 +132,8 @@ impl Simulator {
                         self.state[idx].push_back(mask(d, node.width));
                     }
                 }
+                // Depth-0 nodes are combinational and hold no state.
+                NodeKind::Delay(0) | NodeKind::PipelinedOp { latency: 0, .. } => {}
                 NodeKind::Delay(_) => {
                     let d = self.values[node.inputs[0].0 as usize];
                     self.state[idx].pop_front();
@@ -210,6 +215,14 @@ impl Simulator {
             let value = match &node.kind {
                 NodeKind::Input(idx) => self.inputs[*idx],
                 NodeKind::Const(c) => *c,
+                // Per the `pipeline_depth` contract, depth-0 nodes pass their
+                // (functionally evaluated) operands straight through.
+                NodeKind::Delay(0) => v(0),
+                NodeKind::PipelinedOp { op, latency: 0, .. } => {
+                    let operands: Vec<u64> =
+                        node.inputs.iter().map(|i| self.values[i.0 as usize]).collect();
+                    pipe_op_value(*op, &operands)
+                }
                 NodeKind::Reg | NodeKind::RegEn | NodeKind::Delay(_) => {
                     *self.state[id.0 as usize].front().unwrap_or(&0)
                 }
@@ -399,6 +412,31 @@ mod tests {
             }
         }
         assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn zero_depth_nodes_are_combinational() {
+        // The shared latency-0 contract: Delay(0) and a latency-0 core pass
+        // values through in the same cycle, exactly like the Verilog
+        // backend's continuous assigns.
+        let mut n = Netlist::new("zero");
+        let a = n.add_input("a", 8);
+        let b = n.add_input("b", 8);
+        let d0 = n.add_node(NodeKind::Delay(0), vec![a], 8, "d0");
+        let core = n.add_node(
+            NodeKind::PipelinedOp { op: PipeOp::FAdd, latency: 0, ii: 1 },
+            vec![d0, b],
+            8,
+            "core",
+        );
+        n.add_output("o", core);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("a", 3);
+        sim.set_input("b", 4);
+        assert_eq!(sim.peek("o"), 7, "latency-0 path must be visible pre-edge");
+        sim.step();
+        sim.set_input("a", 10);
+        assert_eq!(sim.peek("o"), 14, "no stale state may linger");
     }
 
     #[test]

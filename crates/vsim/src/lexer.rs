@@ -1,0 +1,315 @@
+//! Tokenizer for the emitted Verilog subset.
+//!
+//! `lilac-ir`'s backend produces a small, regular dialect: identifiers,
+//! decimal numbers, based literals (`8'd255`), a fixed set of punctuation
+//! and operators, and `//` line comments. Anything else is a lex error —
+//! the oracle *wants* to fail loudly if the emitter starts producing text
+//! outside the subset the evaluator understands.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Unsized decimal number (indices, ranges).
+    Number(u64),
+    /// Sized based literal `W'dV`.
+    Based {
+        /// Declared width in bits.
+        width: u32,
+        /// Value (already truncated to 64 bits by parsing).
+        value: u64,
+    },
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `<=` (nonblocking assignment)
+    NonBlocking,
+    /// `==`
+    EqEq,
+    /// `<`
+    Lt,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Number(v) => write!(f, "{v}"),
+            Token::Based { width, value } => write!(f, "{width}'d{value}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Question => write!(f, "?"),
+            Token::At => write!(f, "@"),
+            Token::Assign => write!(f, "="),
+            Token::NonBlocking => write!(f, "<="),
+            Token::EqEq => write!(f, "=="),
+            Token::Lt => write!(f, "<"),
+            Token::Tilde => write!(f, "~"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Caret => write!(f, "^"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// Tokenizes Verilog source, skipping whitespace and `//` comments.
+///
+/// # Errors
+///
+/// Returns `line:column: message` on the first character or malformed
+/// literal outside the subset.
+pub fn lex(src: &str) -> Result<Vec<Token>, String> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let err = |line: usize, col: usize, msg: String| format!("{line}:{col}: {msg}");
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let here = (line, col);
+        macro_rules! push1 {
+            ($t:expr) => {{
+                tokens.push($t);
+                i += 1;
+                col += 1;
+            }};
+        }
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push1!(Token::LParen),
+            ')' => push1!(Token::RParen),
+            '[' => push1!(Token::LBracket),
+            ']' => push1!(Token::RBracket),
+            '{' => push1!(Token::LBrace),
+            '}' => push1!(Token::RBrace),
+            ';' => push1!(Token::Semi),
+            ',' => push1!(Token::Comma),
+            ':' => push1!(Token::Colon),
+            '?' => push1!(Token::Question),
+            '@' => push1!(Token::At),
+            '~' => push1!(Token::Tilde),
+            '&' => push1!(Token::Amp),
+            '|' => push1!(Token::Pipe),
+            '^' => push1!(Token::Caret),
+            '+' => push1!(Token::Plus),
+            '-' => push1!(Token::Minus),
+            '*' => push1!(Token::Star),
+            '/' => push1!(Token::Slash),
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::EqEq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push1!(Token::Assign);
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::NonBlocking);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push1!(Token::Lt);
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let digits = &src[start..i];
+                let value: u64 = digits
+                    .parse()
+                    .map_err(|e| err(here.0, here.1, format!("bad number `{digits}`: {e}")))?;
+                col += i - start;
+                if bytes.get(i) == Some(&b'\'') {
+                    // Based literal `W'dV` (only decimal base in the subset).
+                    if bytes.get(i + 1) != Some(&b'd') {
+                        return Err(err(
+                            here.0,
+                            here.1,
+                            "only decimal based literals (W'dV) are supported".to_string(),
+                        ));
+                    }
+                    i += 2;
+                    col += 2;
+                    let vstart = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if vstart == i {
+                        return Err(err(here.0, here.1, "based literal missing digits".into()));
+                    }
+                    let vdigits = &src[vstart..i];
+                    let v: u64 = vdigits.parse().map_err(|e| {
+                        err(here.0, here.1, format!("bad literal value `{vdigits}`: {e}"))
+                    })?;
+                    col += i - vstart;
+                    if value == 0 || value > 64 {
+                        return Err(err(
+                            here.0,
+                            here.1,
+                            format!("literal width {value} outside 1..=64"),
+                        ));
+                    }
+                    tokens.push(Token::Based { width: value as u32, value: v });
+                } else {
+                    tokens.push(Token::Number(value));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '\\' => {
+                // Identifier; a leading backslash starts a Verilog escaped
+                // identifier terminated by whitespace.
+                let escaped = c == '\\';
+                if escaped {
+                    i += 1;
+                    col += 1;
+                }
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    let ok = if escaped {
+                        !b.is_ascii_whitespace()
+                    } else {
+                        b.is_ascii_alphanumeric() || b == '_' || b == '$'
+                    };
+                    if !ok {
+                        break;
+                    }
+                    i += 1;
+                }
+                col += i - start;
+                tokens.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(err(here.0, here.1, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_emitted_shapes() {
+        let toks = lex("assign n3 = a_b + 4'd5; // comment\n  n1_sr[0] <= x;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("assign".into()),
+                Token::Ident("n3".into()),
+                Token::Assign,
+                Token::Ident("a_b".into()),
+                Token::Plus,
+                Token::Based { width: 4, value: 5 },
+                Token::Semi,
+                Token::Ident("n1_sr".into()),
+                Token::LBracket,
+                Token::Number(0),
+                Token::RBracket,
+                Token::NonBlocking,
+                Token::Ident("x".into()),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_lt_from_nonblocking_and_eq() {
+        let toks = lex("a < b == c <= d").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Lt,
+                Token::Ident("b".into()),
+                Token::EqEq,
+                Token::Ident("c".into()),
+                Token::NonBlocking,
+                Token::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_subset_characters() {
+        assert!(lex("a # b").unwrap_err().contains("unexpected character"));
+        assert!(lex("4'hFF").unwrap_err().contains("decimal"));
+        assert!(lex("128'd0").unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let toks = lex("// everything here ; = <= is skipped\nmodule").unwrap();
+        assert_eq!(toks, vec![Token::Ident("module".into())]);
+    }
+}

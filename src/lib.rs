@@ -10,3 +10,4 @@ pub use lilac_sim as sim;
 pub use lilac_solver as solver;
 pub use lilac_synth as synth;
 pub use lilac_util as util;
+pub use lilac_vsim as vsim;
