@@ -146,8 +146,50 @@ fn bench_vsim() {
     });
 }
 
+fn bench_opt() {
+    println!("-- netlist optimizer (lilac-opt) on the paper designs --");
+    let netlists = lilac_bench::paper_netlists().expect("paper netlists");
+    for (name, netlist) in &netlists {
+        bench(&format!("opt/{name}"), 20, || {
+            std::hint::black_box(lilac_opt::optimize(std::hint::black_box(netlist)));
+        });
+    }
+    let rows = lilac_bench::optimizer_report(5_000, 3).expect("optimizer report");
+    println!();
+    println!(
+        "{:<28} {:>6} {:>6} {:>7} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "Design",
+        "nodes",
+        "opt",
+        "reduce",
+        "seq",
+        "opt",
+        "opt-time",
+        "sim-raw",
+        "sim-opt",
+        "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<28} {:>6} {:>6} {:>6.1}% {:>6} {:>6} {:>10.3?} {:>10.3?} {:>10.3?} {:>8.2}x",
+            row.design,
+            row.stats.nodes_before,
+            row.stats.nodes_after,
+            row.stats.node_reduction() * 100.0,
+            row.stats.sequential_before,
+            row.stats.sequential_after,
+            row.opt_time,
+            row.sim_raw,
+            row.sim_opt,
+            row.sim_speedup
+        );
+    }
+}
+
 fn bench_fuzz() {
-    println!("-- fuzz throughput: generate + check x4 + elaborate + simulate x3 per case --");
+    println!(
+        "-- fuzz throughput: generate + check x4 + elaborate + optimize + simulate x5 per case --"
+    );
     let row = lilac_bench::fuzz_throughput(150, 0);
     println!(
         "fuzz/150-cases                                         {:>12.3?}   {:>7.0} cases/s   \
@@ -162,6 +204,7 @@ fn main() {
     bench_elaborate();
     bench_exhibits();
     bench_vsim();
+    bench_opt();
     bench_fuzz();
     bench_solver_ab();
 }

@@ -6,9 +6,11 @@
 //!
 //! `--check` validates that the run actually measured something — every
 //! design must have discharged obligations through real solver queries and
-//! the query cache must have carried weight somewhere — and exits non-zero
-//! otherwise. CI uses this to fail instead of silently uploading an
-//! artifact full of zeros.
+//! the query cache must have carried weight somewhere — and that the
+//! netlist optimizer (`lilac-opt`) never *increases* the node count on any
+//! bundled design netlist; it exits non-zero otherwise. CI uses this to
+//! fail instead of silently uploading an artifact full of zeros (or
+//! shipping an optimizer that pessimizes).
 
 /// `--check`: fail loudly when the benchmark silently measured nothing.
 fn check_rows(rows: &[lilac_bench::Figure8Row]) -> Result<(), String> {
@@ -31,6 +33,28 @@ fn check_rows(rows: &[lilac_bench::Figure8Row]) -> Result<(), String> {
             "aggregate cache hit rate is zero ({hits}/{queries} queries) — the query cache is \
              not engaging"
         ));
+    }
+    Ok(())
+}
+
+/// `--check`: the optimizer must never increase the node count on any
+/// bundled design netlist.
+fn check_optimizer() -> Result<(), String> {
+    let netlists = lilac_bench::paper_netlists().map_err(|e| e.to_string())?;
+    for (name, netlist) in &netlists {
+        let (_, stats) = lilac_opt::optimize_with_stats(netlist);
+        if stats.nodes_after > stats.nodes_before {
+            return Err(format!(
+                "{name}: optimizer increased node count {} -> {}",
+                stats.nodes_before, stats.nodes_after
+            ));
+        }
+        println!(
+            "check: opt/{name}: {} -> {} nodes ({:.1}% reduction)",
+            stats.nodes_before,
+            stats.nodes_after,
+            stats.node_reduction() * 100.0
+        );
     }
     Ok(())
 }
@@ -85,8 +109,11 @@ fn main() {
         }
     }
     if check {
-        match check_rows(&rows) {
-            Ok(()) => println!("check: all designs issued queries and the cache engaged"),
+        match check_rows(&rows).and_then(|()| check_optimizer()) {
+            Ok(()) => println!(
+                "check: all designs issued queries, the cache engaged, and the optimizer never \
+                 grew a netlist"
+            ),
             Err(e) => {
                 eprintln!("check FAILED: {e}");
                 std::process::exit(1);

@@ -413,6 +413,112 @@ pub fn fuzz_throughput(cases: u64, seed: u64) -> FuzzThroughputRow {
 }
 
 // ---------------------------------------------------------------------------
+// The netlist optimizer (lilac-opt) on the paper designs
+// ---------------------------------------------------------------------------
+
+/// One row of the optimizer exhibit: a bundled paper design's netlist
+/// before/after `lilac_opt::optimize`, the optimizer's runtime, and the
+/// simulator-throughput change the reduction buys.
+#[derive(Clone, Debug)]
+pub struct OptRow {
+    /// Design / netlist label.
+    pub design: &'static str,
+    /// Per-pass statistics (node and sequential counts included).
+    pub stats: lilac_opt::OptStats,
+    /// Wall-clock time of one `optimize` run (minimum over reps).
+    pub opt_time: Duration,
+    /// `lilac-sim` time for the measured cycles on the raw netlist.
+    pub sim_raw: Duration,
+    /// `lilac-sim` time for the same cycles on the optimized netlist.
+    pub sim_opt: Duration,
+    /// `sim_raw / sim_opt`.
+    pub sim_speedup: f64,
+}
+
+/// The netlists the optimizer exhibit (and `figure8 --check`) measures: the
+/// elaborated paper designs plus the hand-built LA/LI system netlists of
+/// Table 1 / Figure 13.
+///
+/// # Errors
+///
+/// Propagates parse/type-check/elaboration errors (none expected).
+pub fn paper_netlists() -> Result<Vec<(&'static str, lilac_ir::Netlist)>> {
+    let fpu = elaborate_module(
+        &Design::Fpu.program()?,
+        "FPU",
+        &BTreeMap::from([("W".to_string(), 32)]),
+        &ElabConfig::default(),
+    )?;
+    let gbp = elaborate_module(
+        &Design::Gbp.program()?,
+        "Gbp",
+        &BTreeMap::from([("W".to_string(), 8)]),
+        &ElabConfig::default(),
+    )?;
+    let la_gbp = gbp::la_gbp_system(&gbp.netlist, 8, 4);
+    Ok(vec![
+        ("FPU (elaborated, W=32)", fpu.netlist),
+        ("GBP (elaborated, W=8)", gbp.netlist),
+        ("LA GBP system (N=4)", la_gbp),
+        ("LI FPU (4/2)", fpu::li_fpu(32, 4, 2)),
+        ("LI GBP (N=4)", gbp::li_gbp(8, 4)),
+    ])
+}
+
+/// Measures `lilac_opt::optimize` over [`paper_netlists`]: node-count
+/// reduction, optimizer runtime, and the simulation-throughput gain on
+/// `cycles` simulated cycles (minimum of `reps` interleaved runs each).
+///
+/// # Errors
+///
+/// Propagates errors from [`paper_netlists`].
+///
+/// # Panics
+///
+/// Panics if an optimized netlist fails to simulate — the same contract the
+/// fuzzer's sixth oracle enforces case by case.
+pub fn optimizer_report(cycles: usize, reps: usize) -> Result<Vec<OptRow>> {
+    let reps = reps.max(1);
+    let mut rows = Vec::new();
+    for (design, netlist) in paper_netlists()? {
+        let (optimized, stats) = lilac_opt::optimize_with_stats(&netlist);
+        let mut opt_time = Duration::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let _ = lilac_opt::optimize(&netlist);
+            opt_time = opt_time.min(start.elapsed());
+        }
+        let measure_sim = |n: &lilac_ir::Netlist| -> Duration {
+            let mut best = Duration::MAX;
+            for _ in 0..reps {
+                let mut sim = lilac_sim::Simulator::new(n).expect("netlist simulates");
+                let inputs: Vec<String> = n.inputs.iter().map(|p| p.name.clone()).collect();
+                let start = Instant::now();
+                for cycle in 0..cycles {
+                    for (k, name) in inputs.iter().enumerate() {
+                        sim.set_input(name, (cycle as u64).wrapping_mul(7).wrapping_add(k as u64));
+                    }
+                    sim.step();
+                }
+                best = best.min(start.elapsed());
+            }
+            best
+        };
+        let sim_raw = measure_sim(&netlist);
+        let sim_opt = measure_sim(&optimized);
+        rows.push(OptRow {
+            design,
+            stats,
+            opt_time,
+            sim_raw,
+            sim_opt,
+            sim_speedup: sim_raw.as_secs_f64() / sim_opt.as_secs_f64().max(1e-12),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
 // Figure 13
 // ---------------------------------------------------------------------------
 
@@ -638,6 +744,37 @@ mod tests {
         assert!(a.checked + a.rejected == 25);
         assert!(a.obligations > 0);
         assert_eq!(a.fingerprint, b.fingerprint, "fuzz outcomes must be deterministic");
+    }
+
+    #[test]
+    fn optimizer_meets_reduction_and_speedup_targets() {
+        let rows = optimizer_report(2000, 3).unwrap();
+        assert_eq!(rows.len(), 5);
+        // The optimizer must never grow a design (the contract `figure8
+        // --check` also enforces in CI).
+        for row in &rows {
+            assert!(
+                row.stats.nodes_after <= row.stats.nodes_before,
+                "{}: optimizer grew the netlist: {:?}",
+                row.design,
+                row.stats
+            );
+        }
+        // The headline: >= 20% node-count reduction on at least two bundled
+        // paper designs (measured: GBP ~57%, LA GBP system ~40%, LI FPU
+        // ~72%, LI GBP ~63%)...
+        let reduced: Vec<_> = rows.iter().filter(|r| r.stats.node_reduction() >= 0.20).collect();
+        assert!(reduced.len() >= 2, "fewer than two designs reach 20% node reduction: {rows:#?}");
+        // ...and the reduction must buy measurable simulator throughput.
+        // Wall-clock on a shared runner is noisy, so this asserts only the
+        // *best* speedup among the reduced designs, which carries a 2-4x
+        // margin over the threshold (measured best: LI FPU ~3.3x); the
+        // per-design table is the bench harness's job (`cargo bench`).
+        let best = reduced.iter().map(|r| r.sim_speedup).fold(0.0f64, f64::max);
+        assert!(
+            best > 1.05,
+            "no reduced design shows a sim-throughput gain (best {best:.2}x): {rows:#?}"
+        );
     }
 
     #[test]

@@ -66,12 +66,22 @@ pub struct ElabConfig {
     pub registry: GeneratorRegistry,
     /// Maximum module-instantiation depth (cycle guard).
     pub max_depth: usize,
+    /// Run the netlist optimizer (`lilac-opt`) on the elaborated top-level
+    /// netlist before returning it. Off by default: the raw netlist is what
+    /// the differential oracles compare the optimized one *against*.
+    pub optimize: bool,
 }
 
 impl ElabConfig {
     /// Configuration with a specific registry.
     pub fn with_registry(registry: GeneratorRegistry) -> ElabConfig {
-        ElabConfig { registry, max_depth: 64 }
+        ElabConfig { registry, max_depth: 64, optimize: false }
+    }
+
+    /// Enables the netlist-optimizer hook (see [`ElabConfig::optimize`]).
+    pub fn optimized(mut self) -> ElabConfig {
+        self.optimize = true;
+        self
     }
 }
 
@@ -115,7 +125,14 @@ pub fn elaborate_module(
     let lib = CompLibrary::build(program)?;
     let mut elab = Elaborator { lib: &lib, config, memo: HashMap::new() };
     let args: BTreeMap<Symbol, u64> = params.iter().map(|(k, v)| (Symbol::intern(k), *v)).collect();
-    elab.elaborate(Symbol::intern(top), &args, 0, Span::dummy())
+    let mut module = elab.elaborate(Symbol::intern(top), &args, 0, Span::dummy())?;
+    if config.optimize {
+        // The opt-in hook: the flattened top-level netlist is rewritten by
+        // the pass pipeline (cycle-exactness is the optimizer's contract,
+        // enforced by lilac-fuzz's sixth differential oracle).
+        module.netlist = lilac_opt::optimize(&module.netlist);
+    }
+    Ok(module)
 }
 
 // ---------------------------------------------------------------------------

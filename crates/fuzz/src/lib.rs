@@ -5,7 +5,7 @@
 //! *well-typed-by-construction* Lilac programs — compositions of standard
 //! library components, loops and bundles, parameterized generated
 //! sub-components, and FloPoCo generator invocations — and pushes each one
-//! through five differential oracles (see [`oracle`]):
+//! through six differential oracles (see [`oracle`]):
 //!
 //! 1. every checker configuration (optimized / serial / shared-cache /
 //!    naive) reaches the same verdict;
@@ -17,7 +17,11 @@
 //!    latency-insensitive counterpart compute identical values;
 //! 5. the netlist's emitted Verilog, parsed and cycle-accurately simulated
 //!    by `lilac-vsim`, matches `lilac-sim` output-for-output on every
-//!    cycle (the backend oracle).
+//!    cycle (the backend oracle);
+//! 6. the optimized netlist (`lilac_opt::optimize`) never grows the
+//!    design, simulates bit-identically to the unoptimized one, and its
+//!    own emitted Verilog round-trips through `lilac-vsim` to the same
+//!    values (the optimizer oracle).
 //!
 //! A sixth of the cases carry a deliberate one-cycle timing fault and must
 //! be *rejected* — identically — by every checker configuration.

@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! Every generated case is pushed through five independent cross-checks:
+//! Every generated case is pushed through six independent cross-checks:
 //!
 //! 1. **Checker A/B** — the optimized obligation-discharge pipeline
 //!    (slicing + caching + indexed scopes), the serial variant, a variant
@@ -26,6 +26,13 @@
 //!    every output of every cycle. This is the oracle that caught the
 //!    backend's off-by-one pipeline depths (a latency-`L` core emitting
 //!    `L + 1` registers).
+//! 6. **Netlist optimizer** — `lilac_opt::optimize(netlist)` must never
+//!    grow the design, must simulate bit-identically to the unoptimized
+//!    netlist on every output of every cycle, and its own emitted Verilog
+//!    must round-trip through `lilac-vsim` to the same values. This is the
+//!    oracle that holds the rewrite passes (constant folding, CSE, mux
+//!    simplification, delay fusion, dead-node elimination) to the
+//!    cycle-exactness contract.
 
 use crate::scenario::{eval_gen, eval_steps, Scenario};
 use crate::synth::{Latency, Synthesized};
@@ -204,14 +211,16 @@ fn round_trip(synth: &Synthesized) -> Result<(), Failure> {
 /// the expected value for each stimulus vector.
 pub type DrivenOutput = (String, u64, Vec<u64>);
 
-/// Oracles 2, 4 and 5, shared with the corpus replayer: drive `netlist`,
-/// its auto-wrapped LI counterpart, and the `lilac-vsim` simulation of its
-/// emitted Verilog with the exact-latency streaming protocol. At cycle `c`
-/// the stimulus vector `c mod m` is applied and every listed output with
-/// latency `t <= c` must equal its expected value for vector `(c - t) mod
-/// m`; every output of the core (not only the listed ones) must match both
-/// the LI wrapper and the Verilog simulation bit-for-bit on every cycle.
-/// Returns the number of cycles driven.
+/// Oracles 2, 4, 5 and 6, shared with the corpus replayer: drive `netlist`,
+/// its auto-wrapped LI counterpart, its optimized rewrite
+/// (`lilac_opt::optimize`), and the `lilac-vsim` simulations of both the
+/// raw and the optimized emitted Verilog with the exact-latency streaming
+/// protocol. At cycle `c` the stimulus vector `c mod m` is applied and
+/// every listed output with latency `t <= c` must equal its expected value
+/// for vector `(c - t) mod m`; every output of the core (not only the
+/// listed ones) must match the LI wrapper, the optimized netlist, and both
+/// Verilog simulations bit-for-bit on every cycle. Returns the number of
+/// cycles driven.
 pub(crate) fn drive_netlist(
     netlist: &lilac_ir::Netlist,
     inputs: &[String],
@@ -253,15 +262,7 @@ pub(crate) fn drive_netlist(
     // Oracle 5: the emitted Verilog, parsed and simulated by lilac-vsim.
     // Ports are matched positionally (emission preserves declaration order;
     // sanitization may legally rename them).
-    let verilog = lilac_ir::emit_verilog(netlist);
-    let vdesign = lilac_vsim::parse_design(&verilog).map_err(|e| {
-        Failure::new("verilog-parse", format!("emitted Verilog rejected: {e}\n---\n{verilog}"))
-    })?;
-    let mut vsim = lilac_vsim::VSimulator::new(&vdesign).map_err(|e| {
-        Failure::new("verilog-elab", format!("emitted Verilog unsimulatable: {e}\n---\n{verilog}"))
-    })?;
-    let v_inputs = vsim.input_names();
-    let v_outputs = vsim.output_names();
+    let (mut vsim, v_inputs, v_outputs) = verilog_sim(netlist, "verilog-parse", "verilog-elab")?;
     if v_inputs.len() != netlist.inputs.len() || v_outputs.len() != all_outputs.len() {
         return Err(Failure::new(
             "verilog-ports",
@@ -275,17 +276,58 @@ pub(crate) fn drive_netlist(
         ));
     }
     // Stimulus input name -> position in the netlist's declaration order.
-    let v_input_for: Vec<&String> = inputs
+    let input_position: Vec<usize> = inputs
         .iter()
         .map(|name| {
             netlist
                 .inputs
                 .iter()
                 .position(|p| &p.name == name)
-                .map(|k| &v_inputs[k])
                 .ok_or_else(|| Failure::new("stimulus", format!("unknown input `{name}`")))
         })
         .collect::<Result<_, _>>()?;
+
+    // Oracle 6: the optimized netlist, simulated directly and through its
+    // own emitted Verilog. The optimizer's contract — never grow the
+    // design, keep every output bit-identical on every cycle — is exactly
+    // what this oracle observes. A panic inside the optimizer is converted
+    // into a failure so the shrinker can minimize it like any disagreement.
+    let optimized =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| lilac_opt::optimize(netlist)))
+            .map_err(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| p.downcast_ref::<&str>().copied())
+                    .unwrap_or("optimizer panicked");
+                Failure::new("opt", format!("optimizer panicked: {msg}"))
+            })?;
+    if optimized.node_count() > netlist.node_count() {
+        return Err(Failure::new(
+            "opt",
+            format!(
+                "optimizer grew the netlist: {} -> {} nodes",
+                netlist.node_count(),
+                optimized.node_count()
+            ),
+        ));
+    }
+    let mut opt_sim = Simulator::new(&optimized)
+        .map_err(|e| Failure::new("opt", format!("optimized netlist rejected: {e}")))?;
+    let (mut opt_vsim, opt_v_inputs, opt_v_outputs) =
+        verilog_sim(&optimized, "opt-verilog-parse", "opt-verilog-elab")?;
+    if opt_v_inputs.len() != v_inputs.len() || opt_v_outputs.len() != v_outputs.len() {
+        return Err(Failure::new(
+            "opt-verilog-ports",
+            format!(
+                "optimized module has {}+{} data ports, the raw module {}+{}",
+                opt_v_inputs.len(),
+                opt_v_outputs.len(),
+                v_inputs.len(),
+                v_outputs.len()
+            ),
+        ));
+    }
 
     let total = max_lat + (2 * m as u64) + 2;
     for c in 0..total {
@@ -293,7 +335,9 @@ pub(crate) fn drive_netlist(
         for (k, name) in inputs.iter().enumerate() {
             sim.set_input(name, stim[k]);
             li_sim.set_input(name, stim[k]);
-            vsim.set_input(v_input_for[k], stim[k]);
+            opt_sim.set_input(name, stim[k]);
+            vsim.set_input(&v_inputs[input_position[k]], stim[k]);
+            opt_vsim.set_input(&opt_v_inputs[input_position[k]], stim[k]);
         }
         for (name, lat, values) in outputs {
             if c < *lat {
@@ -330,12 +374,52 @@ pub(crate) fn drive_netlist(
                     ),
                 ));
             }
+            let opt_got = opt_sim.peek(name);
+            if opt_got != got {
+                return Err(Failure::new(
+                    "opt",
+                    format!(
+                        "output `{name}` at cycle {c}: raw netlist {got:#x}, optimized netlist {opt_got:#x}"
+                    ),
+                ));
+            }
+            let opt_v_got = opt_vsim.peek(&opt_v_outputs[k]);
+            if opt_v_got != got {
+                return Err(Failure::new(
+                    "opt-verilog",
+                    format!(
+                        "output `{name}` at cycle {c}: raw netlist {got:#x}, optimized emitted Verilog {opt_v_got:#x}"
+                    ),
+                ));
+            }
         }
         sim.step();
         li_sim.step();
         vsim.step();
+        opt_sim.step();
+        opt_vsim.step();
     }
     Ok(total)
+}
+
+/// Emits a netlist as Verilog, parses it back with `lilac-vsim`, and builds
+/// the cycle-accurate simulator plus its port-name tables (shared by the
+/// raw-netlist and optimized-netlist oracles).
+fn verilog_sim(
+    netlist: &lilac_ir::Netlist,
+    parse_oracle: &'static str,
+    elab_oracle: &'static str,
+) -> Result<(lilac_vsim::VSimulator, Vec<String>, Vec<String>), Failure> {
+    let verilog = lilac_ir::emit_verilog(netlist);
+    let vdesign = lilac_vsim::parse_design(&verilog).map_err(|e| {
+        Failure::new(parse_oracle, format!("emitted Verilog rejected: {e}\n---\n{verilog}"))
+    })?;
+    let vsim = lilac_vsim::VSimulator::new(&vdesign).map_err(|e| {
+        Failure::new(elab_oracle, format!("emitted Verilog unsimulatable: {e}\n---\n{verilog}"))
+    })?;
+    let inputs = vsim.input_names();
+    let outputs = vsim.output_names();
+    Ok((vsim, inputs, outputs))
 }
 
 /// Elaborates a synthesized program and runs [`drive_netlist`] against the

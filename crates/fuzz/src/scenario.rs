@@ -232,13 +232,11 @@ pub struct Scenario {
     pub stimuli: Vec<Vec<u64>>,
 }
 
-/// Masks `v` to `w` bits (`w >= 64` passes through).
+/// Masks `v` to `w` bits (`w >= 64` passes through). Delegates to the one
+/// canonical [`lilac_ir::mask`] so the scenario interpreter's width
+/// semantics cannot drift from the simulators'.
 pub fn mask(v: u64, w: u64) -> u64 {
-    if w >= 64 {
-        v
-    } else {
-        v & ((1u64 << w) - 1)
-    }
+    lilac_ir::mask(v, w.min(64) as u32)
 }
 
 /// Class of each step in a step list (inputs are [`Cls::W`]).

@@ -2,9 +2,11 @@
 //! ordinary tests: every file must parse, round-trip, get the recorded
 //! checker verdict from every checker configuration, elaborate to the
 //! recorded output parameters, and simulate cycle-exactly to the recorded
-//! values (plus the LA/LI wrapper oracle and the Verilog-backend oracle:
-//! emitted Verilog is parsed and re-simulated by `lilac-vsim` against
-//! `lilac-sim` on every replay).
+//! values (plus the LA/LI wrapper oracle, the Verilog-backend oracle —
+//! emitted Verilog parsed and re-simulated by `lilac-vsim` against
+//! `lilac-sim` — and the netlist-optimizer oracle: `lilac_opt::optimize`'s
+//! rewrite, and its own emitted Verilog, re-simulated the same way on
+//! every replay).
 
 use std::path::PathBuf;
 

@@ -30,5 +30,5 @@
 pub mod netlist;
 pub mod verilog;
 
-pub use netlist::{Netlist, Node, NodeId, NodeKind, PipeOp};
+pub use netlist::{mask, pipe_value, Netlist, Node, NodeId, NodeKind, PipeOp};
 pub use verilog::{emit_verilog, VERILOG_KEYWORDS};

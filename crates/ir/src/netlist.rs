@@ -6,6 +6,44 @@ use std::collections::HashMap;
 
 define_index!(NodeId, "n");
 
+/// Masks `value` to `width` bits (`width >= 64` passes through).
+///
+/// This is **the** canonical bit-mask of the workspace. Every consumer that
+/// narrows a value to a declared width — the netlist simulator
+/// (`lilac-sim`), the Verilog-subset simulator (`lilac-vsim`), the fuzzer's
+/// scenario interpreter, and the optimizer's constant folder — goes through
+/// this one function, so their width semantics cannot drift apart.
+#[inline]
+pub fn mask(value: u64, width: u32) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+/// Functional model of a pipelined core's datapath: the combinational value
+/// the core computes before its `latency`-deep output pipe (shared by the
+/// cycle-accurate simulator and the constant folder, so "fold" and
+/// "simulate" are the same function by construction).
+///
+/// Missing operands read as 0; the caller masks the result to the node
+/// width.
+pub fn pipe_value(op: PipeOp, operands: &[u64]) -> u64 {
+    let get = |i: usize| operands.get(i).copied().unwrap_or(0);
+    match op {
+        PipeOp::FAdd => get(0).wrapping_add(get(1)),
+        PipeOp::FMul | PipeOp::IntMul => get(0).wrapping_mul(get(1)),
+        PipeOp::Div => get(0).checked_div(get(1)).unwrap_or(0),
+        PipeOp::Mac => get(0).wrapping_mul(get(1)).wrapping_add(get(2)),
+        // The convolution and FFT cores are modelled as a sum of their lanes;
+        // the GBP evaluation only relies on their latency/II behaviour.
+        PipeOp::Conv { .. } | PipeOp::Fft { .. } => {
+            operands.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+        }
+    }
+}
+
 /// Operations implemented by externally generated pipelined cores.
 ///
 /// These stand in for the modules produced by FloPoCo, Vivado IP, Aetherling,
@@ -54,7 +92,7 @@ impl PipeOp {
 
 /// A primitive node. Every node produces exactly one output value of
 /// [`Node::width`] bits.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum NodeKind {
     /// A module input; the payload is the index into [`Netlist::inputs`].
     Input(usize),
@@ -135,6 +173,74 @@ impl NodeKind {
     pub fn is_sequential(&self) -> bool {
         self.pipeline_depth() > 0
     }
+
+    /// The combinational function of this node over concrete operand values,
+    /// masked to `width` — or `None` for inputs and state-holding nodes,
+    /// whose value is not a function of this cycle's operands.
+    ///
+    /// `operands` pairs each operand's value with that operand's width; the
+    /// values must already be masked to their widths (as the simulator's
+    /// value vector and [`Netlist::eval_const`] guarantee). This is the one
+    /// evaluation semantics shared by `lilac-sim` and the optimizer's
+    /// constant folder: folding a node and simulating it are the same
+    /// computation by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands` is shorter than the node kind's arity (validate
+    /// the netlist first).
+    pub fn comb_value(&self, operands: &[(u64, u32)], width: u32) -> Option<u64> {
+        let v = |i: usize| operands[i].0;
+        let raw = match self {
+            NodeKind::Input(_) | NodeKind::Reg | NodeKind::RegEn => return None,
+            NodeKind::Const(c) => *c,
+            // Per the `pipeline_depth` contract, depth-0 nodes pass their
+            // (functionally evaluated) operands straight through.
+            NodeKind::Delay(0) => v(0),
+            NodeKind::Delay(_) => return None,
+            NodeKind::PipelinedOp { op, latency: 0, .. } => {
+                // Stack buffer keeps the simulator's hot loop allocation-free
+                // (no core takes anywhere near 16 operands; the Vec fallback
+                // is for pathological hand-built netlists only).
+                let mut buf = [0u64; 16];
+                if operands.len() <= buf.len() {
+                    for (slot, operand) in buf.iter_mut().zip(operands) {
+                        *slot = operand.0;
+                    }
+                    pipe_value(*op, &buf[..operands.len()])
+                } else {
+                    let vals: Vec<u64> = operands.iter().map(|o| o.0).collect();
+                    pipe_value(*op, &vals)
+                }
+            }
+            NodeKind::PipelinedOp { .. } => return None,
+            NodeKind::Add => v(0).wrapping_add(v(1)),
+            NodeKind::Sub => v(0).wrapping_sub(v(1)),
+            NodeKind::Mul => v(0).wrapping_mul(v(1)),
+            NodeKind::And => v(0) & v(1),
+            NodeKind::Or => v(0) | v(1),
+            NodeKind::Xor => v(0) ^ v(1),
+            NodeKind::Not => !v(0),
+            NodeKind::Eq => (v(0) == v(1)) as u64,
+            NodeKind::Lt => (v(0) < v(1)) as u64,
+            NodeKind::Mux => {
+                if v(0) != 0 {
+                    v(1)
+                } else {
+                    v(2)
+                }
+            }
+            NodeKind::Slice { lo } => v(0) >> lo,
+            NodeKind::Concat => {
+                let mut acc = 0u64;
+                for &(value, w) in operands {
+                    acc = (acc << w) | mask(value, w);
+                }
+                acc
+            }
+        };
+        Some(mask(raw, width))
+    }
 }
 
 /// A node in a netlist.
@@ -201,8 +307,14 @@ impl Netlist {
         self.nodes.push(Node { kind, inputs, width, name: name.into() })
     }
 
-    /// Adds a constant node.
+    /// Adds a constant node. The value is masked to `width` at construction:
+    /// a `Const` must always fit its declared width, because the simulator
+    /// masks at evaluation while the Verilog backend emits the stored value
+    /// as a sized literal verbatim — an oversized value would make the two
+    /// disagree. [`Netlist::validate`] rejects oversized constants built by
+    /// other means.
     pub fn add_const(&mut self, value: u64, width: u32) -> NodeId {
+        let value = mask(value, width);
         self.add_node(NodeKind::Const(value), Vec::new(), width, format!("const_{value}"))
     }
 
@@ -226,6 +338,90 @@ impl Netlist {
     /// Panics if `id` is out of range.
     pub fn set_inputs(&mut self, id: NodeId, inputs: Vec<NodeId>) {
         self.nodes[id].inputs = inputs;
+    }
+
+    /// Mutable access to a node: the in-place rewrite primitive the
+    /// optimizer's passes (`lilac-opt`) are built on. The caller is
+    /// responsible for re-establishing the invariants [`Netlist::validate`]
+    /// checks (operand arity, widths, constants fitting their widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Rewrites every operand edge and every output driver through `f`.
+    /// `f` is applied once per edge (not transitively), so callers replacing
+    /// chains of nodes must resolve their replacement map first.
+    pub fn remap_operands(&mut self, f: impl Fn(NodeId) -> NodeId) {
+        for node in self.nodes.iter_mut() {
+            for input in &mut node.inputs {
+                *input = f(*input);
+            }
+        }
+        for (_, driver) in &mut self.outputs {
+            *driver = f(*driver);
+        }
+    }
+
+    /// Removes every node not marked live, compacting ids and rewriting all
+    /// operand edges and output drivers. [`NodeKind::Input`] nodes are
+    /// always retained regardless of `live` — ports are part of the module
+    /// interface, and [`Netlist::inputs`] indices must stay valid. Returns
+    /// the number of nodes removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live.len() != self.node_count()`, or if a retained node
+    /// (or output) references a removed one — liveness must be closed under
+    /// the operand relation before sweeping.
+    pub fn retain_live(&mut self, live: &[bool]) -> usize {
+        assert_eq!(live.len(), self.nodes.len(), "liveness vector length mismatch");
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut kept: IndexVec<NodeId, Node> = IndexVec::with_capacity(self.nodes.len());
+        for (id, node) in self.nodes.iter_enumerated() {
+            if live[id.0 as usize] || matches!(node.kind, NodeKind::Input(_)) {
+                remap[id.0 as usize] = Some(kept.push(node.clone()));
+            }
+        }
+        let removed = self.nodes.len() - kept.len();
+        let resolve = |id: NodeId, what: &str| {
+            remap[id.0 as usize]
+                .unwrap_or_else(|| panic!("retain_live: {what} references removed node {id}"))
+        };
+        for node in kept.iter_mut() {
+            for input in &mut node.inputs {
+                *input = resolve(*input, "a live node");
+            }
+        }
+        for (port, driver) in &mut self.outputs {
+            *driver = resolve(*driver, &format!("output `{}`", port.name));
+        }
+        self.nodes = kept;
+        removed
+    }
+
+    /// The compile-time-constant value of a node, if it has one: a `Const`
+    /// node's (masked) value, or the value of a combinational node all of
+    /// whose operands are `Const` nodes, evaluated through
+    /// [`NodeKind::comb_value`] — the same function the simulator uses, so
+    /// constant folding cannot diverge from simulation.
+    pub fn eval_const(&self, id: NodeId) -> Option<u64> {
+        let node = &self.nodes[id];
+        if let NodeKind::Const(v) = node.kind {
+            return Some(mask(v, node.width));
+        }
+        let mut operands = Vec::with_capacity(node.inputs.len());
+        for &input in &node.inputs {
+            let op = &self.nodes[input];
+            match op.kind {
+                NodeKind::Const(v) => operands.push((mask(v, op.width), op.width)),
+                _ => return None,
+            }
+        }
+        node.kind.comb_value(&operands, node.width)
     }
 
     /// Renames the module.
@@ -309,6 +505,14 @@ impl Netlist {
             if node.width == 0 {
                 return Err(format!("node {id} ({}) has zero width", node.name));
             }
+            if let NodeKind::Const(v) = node.kind {
+                if mask(v, node.width) != v {
+                    return Err(format!(
+                        "node {id} ({}) holds constant {v} which does not fit its {} bit(s)",
+                        node.name, node.width
+                    ));
+                }
+            }
         }
         for (port, id) in &self.outputs {
             if id.0 as usize >= self.nodes.len() {
@@ -363,7 +567,9 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if `input_drivers` does not provide a driver for every input of
-    /// `other`.
+    /// `other`, or if a driver's width differs from the width the callee
+    /// declares for that port (a silent mismatch would flatten into a
+    /// mis-widthed design whose simulation and emission disagree).
     pub fn inline(
         &mut self,
         other: &Netlist,
@@ -376,12 +582,21 @@ impl Netlist {
             let new_id = match &node.kind {
                 NodeKind::Input(idx) => {
                     let port = &other.inputs[*idx];
-                    *input_drivers.get(&port.name).unwrap_or_else(|| {
+                    let driver = *input_drivers.get(&port.name).unwrap_or_else(|| {
                         panic!(
                             "inline: missing driver for input `{}` of `{}`",
                             port.name, other.name
                         )
-                    })
+                    });
+                    let got = self.nodes[driver].width;
+                    if got != port.width {
+                        panic!(
+                            "inline: driver for input `{}` of `{}` is {got} bit(s) wide but the \
+                             port declares {} bit(s)",
+                            port.name, other.name, port.width
+                        );
+                    }
+                    driver
                 }
                 kind => {
                     let inputs = node.inputs.iter().map(|i| remap[i]).collect();
@@ -499,6 +714,136 @@ mod tests {
         let mut drivers = HashMap::new();
         drivers.insert("a".to_string(), x);
         outer.inline(&inner, &drivers, "u0");
+    }
+
+    #[test]
+    fn oversized_const_is_masked_at_construction_and_rejected_by_validate() {
+        // Regression: `add_const(255, 4)` used to store the raw 255.
+        // `lilac-sim` masked it at evaluation (reading 15) while
+        // `emit_verilog` rendered the stored value verbatim as `4'd255` —
+        // the sized literal a downstream Verilog tool truncates (or warns
+        // about) on its own terms, so the two backends could disagree.
+        let mut n = Netlist::new("c");
+        let c = n.add_const(255, 4);
+        assert_eq!(n.node(c).kind, NodeKind::Const(15), "masked at construction");
+        assert!(n.validate().is_ok());
+        assert_eq!(n.eval_const(c), Some(15));
+
+        // Reconstruct the pre-fix netlist (raw `add_node`, bypassing the
+        // mask) and pin the divergent emission: the stored 255 does not fit
+        // 4 bits, the emitted literal says `4'd255`, and the simulator
+        // would have read 15 — validate now rejects the netlist outright.
+        let mut bad = Netlist::new("c");
+        let c = bad.add_node(NodeKind::Const(255), Vec::new(), 4, "const_255");
+        bad.add_output("o", c);
+        let v = crate::verilog::emit_verilog(&bad);
+        assert!(v.contains("assign n0 = 4'd255;"), "the divergent emission:\n{v}");
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("constant 255"), "{err}");
+        assert!(err.contains("4 bit(s)"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "driver for input `a` of `addreg` is 8 bit(s) wide")]
+    fn inline_rejects_narrow_driver() {
+        let inner = adder_netlist(); // ports are 16 bits wide
+        let mut outer = Netlist::new("top");
+        let x = outer.add_input("x", 8);
+        let y = outer.add_input("y", 16);
+        let drivers = HashMap::from([("a".to_string(), x), ("b".to_string(), y)]);
+        outer.inline(&inner, &drivers, "u0");
+    }
+
+    #[test]
+    #[should_panic(expected = "driver for input `b` of `addreg` is 24 bit(s) wide")]
+    fn inline_rejects_wide_driver() {
+        let inner = adder_netlist();
+        let mut outer = Netlist::new("top");
+        let x = outer.add_input("x", 16);
+        let y = outer.add_input("y", 24);
+        let drivers = HashMap::from([("a".to_string(), x), ("b".to_string(), y)]);
+        outer.inline(&inner, &drivers, "u0");
+    }
+
+    #[test]
+    fn eval_const_follows_simulation_semantics() {
+        let mut n = Netlist::new("fold");
+        let a = n.add_const(0xF0, 8);
+        let b = n.add_const(0x0F, 8);
+        let add = n.add_node(NodeKind::Add, vec![a, b], 8, "add");
+        let narrow = n.add_node(NodeKind::Add, vec![a, b], 4, "narrow"); // masks to 4 bits
+        let cat = n.add_node(NodeKind::Concat, vec![a, b], 16, "cat");
+        let i = n.add_input("i", 8);
+        let var = n.add_node(NodeKind::Add, vec![a, i], 8, "var");
+        let reg = n.add_node(NodeKind::Reg, vec![a], 8, "reg");
+        assert_eq!(n.eval_const(add), Some(0xFF));
+        assert_eq!(n.eval_const(narrow), Some(0xF));
+        assert_eq!(n.eval_const(cat), Some(0xF00F));
+        assert_eq!(n.eval_const(var), None, "non-const operand");
+        assert_eq!(n.eval_const(reg), None, "state-holding node");
+        assert_eq!(n.eval_const(i), None, "input");
+    }
+
+    #[test]
+    fn retain_live_sweeps_and_remaps() {
+        let mut n = Netlist::new("sweep");
+        let a = n.add_input("a", 8);
+        let dead = n.add_node(NodeKind::Not, vec![a], 8, "dead");
+        let live = n.add_node(NodeKind::Add, vec![a, a], 8, "live");
+        n.add_output("o", live);
+        let mut mark = vec![false; n.node_count()];
+        mark[a.0 as usize] = true;
+        mark[live.0 as usize] = true;
+        assert_eq!(n.retain_live(&mark), 1);
+        assert_eq!(n.node_count(), 2);
+        assert!(n.validate().is_ok());
+        assert!(n.iter().all(|(_, node)| node.name != "dead"));
+        assert_eq!(n.output("o"), Some(NodeId(1)));
+        let _ = dead;
+    }
+
+    #[test]
+    #[should_panic(expected = "references removed node")]
+    fn retain_live_rejects_open_liveness() {
+        let mut n = Netlist::new("open");
+        let a = n.add_input("a", 8);
+        let x = n.add_node(NodeKind::Not, vec![a], 8, "x");
+        let y = n.add_node(NodeKind::Not, vec![x], 8, "y");
+        n.add_output("o", y);
+        let mut mark = vec![false; n.node_count()];
+        mark[y.0 as usize] = true; // y live but its operand x is not
+        n.retain_live(&mark);
+    }
+
+    #[test]
+    fn remap_operands_rewrites_edges_and_outputs() {
+        let mut n = Netlist::new("remap");
+        let a = n.add_input("a", 8);
+        let b = n.add_input("b", 8);
+        let x = n.add_node(NodeKind::Not, vec![a], 8, "x");
+        n.add_output("o", x);
+        n.remap_operands(|id| if id == a { b } else { id });
+        assert_eq!(n.node(x).inputs, vec![b]);
+        n.remap_operands(|id| if id == x { b } else { id });
+        assert_eq!(n.output("o"), Some(b));
+    }
+
+    #[test]
+    fn comb_value_matches_eval_semantics() {
+        // Spot checks of the shared evaluation function, including masking.
+        let w8 = |v: u64| (v, 8u32);
+        assert_eq!(NodeKind::Add.comb_value(&[w8(0xFF), w8(1)], 8), Some(0));
+        assert_eq!(NodeKind::Sub.comb_value(&[w8(0), w8(1)], 8), Some(0xFF));
+        assert_eq!(NodeKind::Lt.comb_value(&[w8(3), w8(5)], 1), Some(1));
+        assert_eq!(NodeKind::Mux.comb_value(&[(0, 1), w8(7), w8(9)], 8), Some(9));
+        assert_eq!(NodeKind::Slice { lo: 4 }.comb_value(&[w8(0xAB)], 4), Some(0xA));
+        assert_eq!(NodeKind::Delay(0).comb_value(&[(0x1FF, 16)], 8), Some(0xFF));
+        assert_eq!(NodeKind::Delay(1).comb_value(&[w8(1)], 8), None);
+        let core0 = NodeKind::PipelinedOp { op: PipeOp::Mac, latency: 0, ii: 1 };
+        assert_eq!(core0.comb_value(&[w8(3), w8(4), w8(5)], 8), Some(17));
+        assert_eq!(NodeKind::Reg.comb_value(&[w8(1)], 8), None);
+        assert_eq!(mask(u64::MAX, 64), u64::MAX);
+        assert_eq!(mask(u64::MAX, 63), u64::MAX >> 1);
     }
 
     #[test]

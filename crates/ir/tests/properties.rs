@@ -1,0 +1,226 @@
+//! Property tests for [`Netlist::combinational_order`], driven by the
+//! in-repo deterministic PRNG (`lilac_util::rng::Rng`):
+//!
+//! * when an order is returned it is a valid topological order over the
+//!   *combinational* edges (every combinational node appears after all of
+//!   its operands; sequential nodes impose no ordering on theirs);
+//! * the function is deterministic: equal netlists yield equal orders;
+//! * it returns `None` exactly when a purely combinational cycle exists,
+//!   as judged by an independent DFS cycle detector written against the
+//!   same edge definition.
+
+use lilac_ir::{Netlist, NodeId, NodeKind, PipeOp};
+use lilac_util::rng::Rng;
+
+/// Draws a random netlist: a structurally valid DAG over the full node-kind
+/// menu, then (sometimes) rewired with feedback edges. Feedback through a
+/// sequential node is legal; feedback through combinational nodes creates
+/// the cycles the `None` contract is about.
+fn random_netlist(seed: u64) -> Netlist {
+    let mut rng = Rng::new(seed);
+    let mut n = Netlist::new(format!("prop_{seed}"));
+    let n_inputs = 1 + rng.index(3);
+    let mut ids: Vec<NodeId> = Vec::new();
+    for i in 0..n_inputs {
+        ids.push(n.add_input(format!("i{i}"), 1 + rng.index(16) as u32));
+    }
+    let n_nodes = 3 + rng.index(40);
+    for k in 0..n_nodes {
+        let any = ids[rng.index(ids.len())];
+        let width = 1 + rng.index(16) as u32;
+        let id = match rng.index(10) {
+            0 => n.add_const(rng.next_u64(), width),
+            1 => n.add_node(NodeKind::Reg, vec![any], width, format!("n{k}")),
+            2 => {
+                let e = ids[rng.index(ids.len())];
+                n.add_node(NodeKind::RegEn, vec![any, e], width, format!("n{k}"))
+            }
+            3 => {
+                let depth = rng.index(4) as u32; // includes Delay(0): combinational
+                n.add_node(NodeKind::Delay(depth), vec![any], width, format!("n{k}"))
+            }
+            4 | 5 => {
+                let b = ids[rng.index(ids.len())];
+                let kind = match rng.index(6) {
+                    0 => NodeKind::Add,
+                    1 => NodeKind::Sub,
+                    2 => NodeKind::Mul,
+                    3 => NodeKind::And,
+                    4 => NodeKind::Or,
+                    _ => NodeKind::Xor,
+                };
+                n.add_node(kind, vec![any, b], width, format!("n{k}"))
+            }
+            6 => {
+                let (s, b) = (ids[rng.index(ids.len())], ids[rng.index(ids.len())]);
+                n.add_node(NodeKind::Mux, vec![s, any, b], width, format!("n{k}"))
+            }
+            7 => n.add_node(NodeKind::Not, vec![any], width, format!("n{k}")),
+            8 => {
+                let latency = rng.index(3) as u32; // includes latency 0: combinational
+                let b = ids[rng.index(ids.len())];
+                n.add_node(
+                    NodeKind::PipelinedOp { op: PipeOp::FAdd, latency, ii: 1 },
+                    vec![any, b],
+                    width,
+                    format!("n{k}"),
+                )
+            }
+            _ => {
+                let b = ids[rng.index(ids.len())];
+                n.add_node(NodeKind::Concat, vec![any, b], width, format!("n{k}"))
+            }
+        };
+        ids.push(id);
+    }
+    // Rewire a few operand edges to *later* nodes. Through a sequential
+    // node this is an ordinary feedback loop; through a combinational node
+    // it may (or may not) close a purely combinational cycle.
+    for _ in 0..rng.index(4) {
+        let id = ids[rng.index(ids.len())];
+        let node = n.node(id);
+        if node.inputs.is_empty() {
+            continue;
+        }
+        let slot = rng.index(node.inputs.len());
+        let target = ids[rng.index(ids.len())];
+        let mut inputs = node.inputs.clone();
+        inputs[slot] = target;
+        n.set_inputs(id, inputs);
+    }
+    n.add_output("o", *ids.last().unwrap());
+    n
+}
+
+/// Independent ground truth: DFS cycle detection over the combinational
+/// edges (operand -> node, only when the node itself is combinational).
+fn has_combinational_cycle(n: &Netlist) -> bool {
+    let count = n.node_count();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); count];
+    for (id, node) in n.iter() {
+        if node.kind.is_sequential() {
+            continue;
+        }
+        for input in &node.inputs {
+            dependents[input.0 as usize].push(id.0 as usize);
+        }
+    }
+    // Iterative three-color DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; count];
+    for root in 0..count {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        color[root] = Color::Gray;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < dependents[v].len() {
+                let w = dependents[v][*next];
+                *next += 1;
+                match color[w] {
+                    Color::Gray => return true,
+                    Color::White => {
+                        color[w] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn order_is_a_valid_topological_order_over_combinational_edges() {
+    let mut ordered = 0;
+    for seed in 0..300 {
+        let n = random_netlist(seed);
+        let Some(order) = n.combinational_order() else { continue };
+        ordered += 1;
+        assert_eq!(order.len(), n.node_count(), "seed {seed}: order must cover every node");
+        let mut position = vec![usize::MAX; n.node_count()];
+        for (pos, id) in order.iter().enumerate() {
+            assert_eq!(position[id.0 as usize], usize::MAX, "seed {seed}: node {id} appears twice");
+            position[id.0 as usize] = pos;
+        }
+        for (id, node) in n.iter() {
+            if node.kind.is_sequential() {
+                continue; // sequential nodes read their operands "later"
+            }
+            for input in &node.inputs {
+                assert!(
+                    position[input.0 as usize] < position[id.0 as usize],
+                    "seed {seed}: combinational node {id} ordered before its operand {input}"
+                );
+            }
+        }
+    }
+    assert!(ordered >= 100, "generator must produce plenty of acyclic cases: {ordered}");
+}
+
+#[test]
+fn order_is_deterministic() {
+    for seed in 0..100 {
+        let n = random_netlist(seed);
+        assert_eq!(n.combinational_order(), n.combinational_order(), "seed {seed}");
+        // And across structurally equal netlists built from scratch.
+        let m = random_netlist(seed);
+        assert_eq!(n.combinational_order(), m.combinational_order(), "seed {seed}");
+    }
+}
+
+#[test]
+fn none_exactly_when_a_combinational_cycle_exists() {
+    let (mut cyclic, mut acyclic) = (0, 0);
+    for seed in 0..400 {
+        let n = random_netlist(seed);
+        let expected_cycle = has_combinational_cycle(&n);
+        if expected_cycle {
+            cyclic += 1;
+        } else {
+            acyclic += 1;
+        }
+        assert_eq!(
+            n.combinational_order().is_none(),
+            expected_cycle,
+            "seed {seed}: order and the independent cycle detector disagree"
+        );
+    }
+    assert!(cyclic >= 20, "generator must produce cyclic cases: {cyclic}");
+    assert!(acyclic >= 100, "generator must produce acyclic cases: {acyclic}");
+}
+
+#[test]
+fn sequential_feedback_is_not_a_combinational_cycle() {
+    // The canonical counter: reg -> add -> reg feedback. The cycle goes
+    // through a register, so an order must exist.
+    let mut n = Netlist::new("counter");
+    let one = n.add_const(1, 8);
+    let reg = n.add_node(NodeKind::Reg, vec![one], 8, "count");
+    let next = n.add_node(NodeKind::Add, vec![reg, one], 8, "next");
+    n.set_inputs(reg, vec![next]);
+    n.add_output("o", reg);
+    assert!(n.combinational_order().is_some());
+    assert!(!has_combinational_cycle(&n));
+
+    // Swap the register for a Delay(0) passthrough: now the same loop is
+    // purely combinational and must be rejected.
+    let mut m = Netlist::new("loop");
+    let one = m.add_const(1, 8);
+    let d0 = m.add_node(NodeKind::Delay(0), vec![one], 8, "pass");
+    let next = m.add_node(NodeKind::Add, vec![d0, one], 8, "next");
+    m.set_inputs(d0, vec![next]);
+    m.add_output("o", d0);
+    assert!(m.combinational_order().is_none());
+    assert!(has_combinational_cycle(&m));
+}

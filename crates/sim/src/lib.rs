@@ -40,7 +40,7 @@
 //! # Ok::<(), String>(())
 //! ```
 
-use lilac_ir::{Netlist, NodeId, NodeKind, PipeOp};
+use lilac_ir::{mask, pipe_value, Netlist, NodeId, NodeKind};
 use std::collections::{HashMap, VecDeque};
 
 /// A cycle-accurate interpreter for a netlist.
@@ -142,7 +142,7 @@ impl Simulator {
                 NodeKind::PipelinedOp { op, .. } => {
                     let operands: Vec<u64> =
                         node.inputs.iter().map(|i| self.values[i.0 as usize]).collect();
-                    let result = mask(pipe_op_value(*op, &operands), node.width);
+                    let result = mask(pipe_value(*op, &operands), node.width);
                     self.state[idx].pop_front();
                     self.state[idx].push_back(result);
                 }
@@ -209,49 +209,31 @@ impl Simulator {
     }
 
     fn eval_combinational(&mut self) {
-        for &id in &self.order.clone() {
-            let node = self.netlist.node(id).clone();
-            let v = |i: usize| self.values[node.inputs[i].0 as usize];
+        // Operand scratch buffer, reused across nodes to keep the hot loop
+        // allocation-free.
+        let mut operands: Vec<(u64, u32)> = Vec::with_capacity(8);
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            let node = self.netlist.node(id);
             let value = match &node.kind {
-                NodeKind::Input(idx) => self.inputs[*idx],
-                NodeKind::Const(c) => *c,
-                // Per the `pipeline_depth` contract, depth-0 nodes pass their
-                // (functionally evaluated) operands straight through.
-                NodeKind::Delay(0) => v(0),
-                NodeKind::PipelinedOp { op, latency: 0, .. } => {
-                    let operands: Vec<u64> =
-                        node.inputs.iter().map(|i| self.values[i.0 as usize]).collect();
-                    pipe_op_value(*op, &operands)
-                }
-                NodeKind::Reg | NodeKind::RegEn | NodeKind::Delay(_) => {
+                NodeKind::Input(i) => self.inputs[*i],
+                NodeKind::Reg | NodeKind::RegEn => *self.state[id.0 as usize].front().unwrap_or(&0),
+                NodeKind::Delay(n) if *n > 0 => *self.state[id.0 as usize].front().unwrap_or(&0),
+                NodeKind::PipelinedOp { latency, .. } if *latency > 0 => {
                     *self.state[id.0 as usize].front().unwrap_or(&0)
                 }
-                NodeKind::PipelinedOp { .. } => *self.state[id.0 as usize].front().unwrap_or(&0),
-                NodeKind::Add => v(0).wrapping_add(v(1)),
-                NodeKind::Sub => v(0).wrapping_sub(v(1)),
-                NodeKind::Mul => v(0).wrapping_mul(v(1)),
-                NodeKind::And => v(0) & v(1),
-                NodeKind::Or => v(0) | v(1),
-                NodeKind::Xor => v(0) ^ v(1),
-                NodeKind::Not => !v(0),
-                NodeKind::Eq => (v(0) == v(1)) as u64,
-                NodeKind::Lt => (v(0) < v(1)) as u64,
-                NodeKind::Mux => {
-                    if v(0) != 0 {
-                        v(1)
-                    } else {
-                        v(2)
+                // Everything else — including the depth-0 passthroughs of
+                // the `pipeline_depth` contract — evaluates through the one
+                // combinational semantics shared with the optimizer's
+                // constant folder (`NodeKind::comb_value`).
+                kind => {
+                    operands.clear();
+                    for &input in &node.inputs {
+                        operands
+                            .push((self.values[input.0 as usize], self.netlist.node(input).width));
                     }
-                }
-                NodeKind::Slice { lo } => v(0) >> lo,
-                NodeKind::Concat => {
-                    let mut acc = 0u64;
-                    for (k, &input) in node.inputs.iter().enumerate() {
-                        let w = self.netlist.node(input).width;
-                        let _ = k;
-                        acc = (acc << w) | mask(self.values[input.0 as usize], w);
-                    }
-                    acc
+                    kind.comb_value(&operands, node.width)
+                        .expect("non-state node has a combinational value")
                 }
             };
             self.values[id.0 as usize] = mask(value, node.width);
@@ -259,34 +241,10 @@ impl Simulator {
     }
 }
 
-/// Functional model of a pipelined core's datapath.
-fn pipe_op_value(op: PipeOp, operands: &[u64]) -> u64 {
-    let get = |i: usize| operands.get(i).copied().unwrap_or(0);
-    match op {
-        PipeOp::FAdd => get(0).wrapping_add(get(1)),
-        PipeOp::FMul | PipeOp::IntMul => get(0).wrapping_mul(get(1)),
-        PipeOp::Div => get(0).checked_div(get(1)).unwrap_or(0),
-        PipeOp::Mac => get(0).wrapping_mul(get(1)).wrapping_add(get(2)),
-        // The convolution and FFT cores are modelled as a sum of their lanes;
-        // the GBP evaluation only relies on their latency/II behaviour.
-        PipeOp::Conv { .. } | PipeOp::Fft { .. } => {
-            operands.iter().fold(0u64, |a, &b| a.wrapping_add(b))
-        }
-    }
-}
-
-fn mask(value: u64, width: u32) -> u64 {
-    if width >= 64 {
-        value
-    } else {
-        value & ((1u64 << width) - 1)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lilac_ir::{Netlist, NodeKind};
+    use lilac_ir::{Netlist, NodeKind, PipeOp};
 
     fn fpu_like(add_latency: u32, mul_latency: u32) -> Netlist {
         // The Figure 2 FPU: delay the adder output and op select so both

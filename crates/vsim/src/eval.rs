@@ -15,15 +15,10 @@
 //! interpreter that has none either.
 
 use crate::design::{BinOp, Design, Expr, NetKind, SeqStmt, SeqTarget};
+// The one canonical width mask, shared with `lilac-sim` and the optimizer's
+// constant folder so the three width semantics cannot drift.
+use lilac_ir::mask;
 use std::collections::HashMap;
-
-fn mask(value: u64, width: u32) -> u64 {
-    if width >= 64 {
-        value
-    } else {
-        value & ((1u64 << width) - 1)
-    }
-}
 
 /// A cycle-accurate interpreter for a parsed Verilog module.
 ///
