@@ -186,9 +186,40 @@ fn bench_opt() {
     }
 }
 
+fn bench_retime() {
+    println!("-- register retiming (lilac-opt::retime) on the paper designs --");
+    let netlists = lilac_bench::paper_netlists().expect("paper netlists");
+    for (name, netlist) in &netlists {
+        bench(&format!("retime/{name}"), 10, || {
+            std::hint::black_box(lilac_opt::retime(std::hint::black_box(netlist)));
+        });
+    }
+    let rows = lilac_bench::retiming_report(3).expect("retiming report");
+    println!();
+    println!(
+        "{:<28} {:>6} {:>4} {:>4} {:>9} {:>9} {:>8} {:>9} {:>9} {:>10}",
+        "Design", "moves", "fwd", "bwd", "cp-ns", "cp-ns'", "fmax%", "regbits", "regbits'", "time"
+    );
+    for row in &rows {
+        println!(
+            "{:<28} {:>6} {:>4} {:>4} {:>9.2} {:>9.2} {:>+7.1}% {:>9} {:>9} {:>10.3?}",
+            row.design,
+            row.stats.moves(),
+            row.stats.forward_moves,
+            row.stats.backward_moves,
+            row.stats.critical_path_before_ns,
+            row.stats.critical_path_after_ns,
+            row.stats.fmax_gain_pct(),
+            row.stats.register_bits_before,
+            row.stats.register_bits_after,
+            row.retime_time
+        );
+    }
+}
+
 fn bench_fuzz() {
     println!(
-        "-- fuzz throughput: generate + check x4 + elaborate + optimize + simulate x5 per case --"
+        "-- fuzz throughput: generate + check x4 + elaborate + optimize + retime + simulate x7 per case --"
     );
     let row = lilac_bench::fuzz_throughput(150, 0);
     println!(
@@ -205,6 +236,7 @@ fn main() {
     bench_exhibits();
     bench_vsim();
     bench_opt();
+    bench_retime();
     bench_fuzz();
     bench_solver_ab();
 }

@@ -6,11 +6,13 @@
 //!
 //! `--check` validates that the run actually measured something — every
 //! design must have discharged obligations through real solver queries and
-//! the query cache must have carried weight somewhere — and that the
-//! netlist optimizer (`lilac-opt`) never *increases* the node count on any
-//! bundled design netlist; it exits non-zero otherwise. CI uses this to
-//! fail instead of silently uploading an artifact full of zeros (or
-//! shipping an optimizer that pessimizes).
+//! the query cache must have carried weight somewhere — that the netlist
+//! optimizer (`lilac-opt`) never *increases* the node count on any bundled
+//! design netlist, and that the register retimer (`lilac_opt::retime`)
+//! never grows a bundled design's estimated critical path or changes any
+//! output's latency; it exits non-zero otherwise. CI uses this to fail
+//! instead of silently uploading an artifact full of zeros (or shipping an
+//! optimizer that pessimizes).
 
 /// `--check`: fail loudly when the benchmark silently measured nothing.
 fn check_rows(rows: &[lilac_bench::Figure8Row]) -> Result<(), String> {
@@ -54,6 +56,35 @@ fn check_optimizer() -> Result<(), String> {
             stats.nodes_before,
             stats.nodes_after,
             stats.node_reduction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `--check`: the retimer must never grow a bundled design's estimated
+/// critical path and must never change any output's input-to-output
+/// register latency — a retiming regression on either axis fails the
+/// build. (The retimed Figure 13 points additionally need real fmax wins,
+/// asserted by `cargo test -p lilac-bench`.)
+fn check_retiming() -> Result<(), String> {
+    let rows = lilac_bench::retiming_report(1).map_err(|e| e.to_string())?;
+    for row in &rows {
+        if row.stats.critical_path_after_ns > row.stats.critical_path_before_ns + 1e-9 {
+            return Err(format!(
+                "{}: retiming grew the estimated critical path {:.3} -> {:.3} ns",
+                row.design, row.stats.critical_path_before_ns, row.stats.critical_path_after_ns
+            ));
+        }
+        if !row.latency_preserved {
+            return Err(format!("{}: retiming changed a per-output latency", row.design));
+        }
+        println!(
+            "check: retime/{}: {} move(s), cp {:.2} -> {:.2} ns (fmax {:+.1}%), latency preserved",
+            row.design,
+            row.stats.moves(),
+            row.stats.critical_path_before_ns,
+            row.stats.critical_path_after_ns,
+            row.stats.fmax_gain_pct()
         );
     }
     Ok(())
@@ -109,10 +140,10 @@ fn main() {
         }
     }
     if check {
-        match check_rows(&rows).and_then(|()| check_optimizer()) {
+        match check_rows(&rows).and_then(|()| check_optimizer()).and_then(|()| check_retiming()) {
             Ok(()) => println!(
-                "check: all designs issued queries, the cache engaged, and the optimizer never \
-                 grew a netlist"
+                "check: all designs issued queries, the cache engaged, the optimizer never grew \
+                 a netlist, and the retimer never grew a critical path or moved a latency"
             ),
             Err(e) => {
                 eprintln!("check FAILED: {e}");

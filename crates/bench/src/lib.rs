@@ -362,7 +362,8 @@ pub fn reports_equivalent(a: &CheckReport, b: &CheckReport) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Throughput of the `lilac-fuzz` differential pipeline: how many complete
-/// generate → synthesize → check×4 → elaborate → simulate×2 cases the
+/// generate → synthesize → check×4 → elaborate → optimize → retime →
+/// simulate×7 cases the
 /// harness clears per second. This is the row that tells us whether a
 /// solver or checker change made the *fuzzing CI budget* cheaper or more
 /// expensive, alongside the per-design Figure 8 timings.
@@ -519,11 +520,76 @@ pub fn optimizer_report(cycles: usize, reps: usize) -> Result<Vec<OptRow>> {
 }
 
 // ---------------------------------------------------------------------------
+// Register retiming (lilac-opt::retime) on the paper designs
+// ---------------------------------------------------------------------------
+
+/// One row of the retiming exhibit: a bundled paper design's netlist
+/// before/after `lilac_opt::retime`, with the cost model's fmax on both
+/// sides and the latency-preservation verdict.
+#[derive(Clone, Debug)]
+pub struct RetimeRow {
+    /// Design / netlist label.
+    pub design: &'static str,
+    /// Per-run retiming statistics (moves, critical paths, register bits).
+    pub stats: lilac_opt::RetimeStats,
+    /// Estimated fmax before retiming, MHz.
+    pub fmax_before_mhz: f64,
+    /// Estimated fmax after retiming, MHz.
+    pub fmax_after_mhz: f64,
+    /// Whether every output's minimum input-to-output register count is
+    /// unchanged (must always be true; recorded so `figure8 --check` and
+    /// the tests can assert it from the row).
+    pub latency_preserved: bool,
+    /// Wall-clock time of one `retime` run (minimum over reps).
+    pub retime_time: Duration,
+}
+
+/// Measures `lilac_opt::retime` over [`paper_netlists`]: accepted moves,
+/// critical-path/fmax deltas, and latency preservation per design.
+///
+/// # Errors
+///
+/// Propagates errors from [`paper_netlists`].
+///
+/// # Panics
+///
+/// Panics if the retimer violates its own contract — the same panics the
+/// fuzzer's seventh oracle converts into shrinkable failures.
+pub fn retiming_report(reps: usize) -> Result<Vec<RetimeRow>> {
+    let reps = reps.max(1);
+    let mut rows = Vec::new();
+    for (design, netlist) in paper_netlists()? {
+        // The stats-producing run doubles as the first timed rep, so
+        // `retiming_report(1)` — the `figure8 --check` path — pays for
+        // exactly one retime per design.
+        let start = Instant::now();
+        let (retimed, stats) = lilac_opt::retime_with_stats(&netlist);
+        let mut retime_time = start.elapsed();
+        for _ in 1..reps {
+            let start = Instant::now();
+            let _ = lilac_opt::retime(&netlist);
+            retime_time = retime_time.min(start.elapsed());
+        }
+        rows.push(RetimeRow {
+            design,
+            stats,
+            fmax_before_mhz: 1000.0 / stats.critical_path_before_ns,
+            fmax_after_mhz: 1000.0 / stats.critical_path_after_ns,
+            latency_preserved: retimed.output_min_latencies() == netlist.output_min_latencies(),
+            retime_time,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
 // Figure 13
 // ---------------------------------------------------------------------------
 
 /// One design point of Figure 13: the LA (Lilac) and LI (ready–valid)
-/// Gaussian blur pyramids at one convolution parallelism.
+/// Gaussian blur pyramids at one convolution parallelism, plus the
+/// *retimed* variants of both (`lilac_opt::retime` — same latency, higher
+/// estimated fmax wherever the pass finds an accepted move).
 #[derive(Clone, Debug)]
 pub struct Figure13Row {
     /// Aetherling parallelism (the paper's N).
@@ -533,6 +599,13 @@ pub struct Figure13Row {
     pub lilac: ResourceEstimate,
     /// Cost of the ready–valid implementation.
     pub ready_valid: ResourceEstimate,
+    /// Cost of the retimed latency-abstract implementation.
+    pub lilac_retimed: ResourceEstimate,
+    /// Cost of the retimed ready–valid implementation.
+    pub ready_valid_retimed: ResourceEstimate,
+    /// Whether retiming preserved every output's minimum register latency
+    /// on both implementations (must always be true).
+    pub latency_preserved: bool,
 }
 
 /// Regenerates Figure 13: resource usage and maximum frequency of the GBP
@@ -556,9 +629,19 @@ pub fn figure13() -> Result<Vec<Figure13Row>> {
             &ElabConfig::with_registry(registry),
         )?;
         let la_system = gbp::la_gbp_system(&module.netlist, width, n);
-        let lilac = estimate(&la_system);
-        let ready_valid = estimate(&gbp::li_gbp(width, n));
-        rows.push(Figure13Row { n, lilac, ready_valid });
+        let li_system = gbp::li_gbp(width, n);
+        let la_retimed = lilac_opt::retime(&la_system);
+        let li_retimed = lilac_opt::retime(&li_system);
+        rows.push(Figure13Row {
+            n,
+            lilac: estimate(&la_system),
+            ready_valid: estimate(&li_system),
+            lilac_retimed: estimate(&la_retimed),
+            ready_valid_retimed: estimate(&li_retimed),
+            latency_preserved: la_retimed.output_min_latencies()
+                == la_system.output_min_latencies()
+                && li_retimed.output_min_latencies() == li_system.output_min_latencies(),
+        });
     }
     Ok(rows)
 }
@@ -786,6 +869,20 @@ mod tests {
             assert!(row.ready_valid.registers > row.lilac.registers, "N={}: {:?}", row.n, row);
             assert!(row.ready_valid.luts > row.lilac.luts, "N={}: {row:?}", row.n);
         }
+        // Retiming never hurts a design point and never touches latency.
+        for row in &rows {
+            assert!(row.latency_preserved, "N={}: retiming changed a latency", row.n);
+            assert!(
+                row.lilac_retimed.fmax_mhz >= row.lilac.fmax_mhz - 1e-9,
+                "N={}: retimed LA point is slower: {row:?}",
+                row.n
+            );
+            assert!(
+                row.ready_valid_retimed.fmax_mhz >= row.ready_valid.fmax_mhz - 1e-9,
+                "N={}: retimed LI point is slower: {row:?}",
+                row.n
+            );
+        }
         // The LA implementation needs fewer registers as N grows (less
         // serialization); N=16 uses substantially fewer than N=1.
         let first = &rows[0];
@@ -799,6 +896,68 @@ mod tests {
         let summary = summarize_figure13(&rows);
         assert!(summary.li_lut_overhead_pct > 5.0);
         assert!(summary.li_register_overhead_pct > 10.0);
+    }
+
+    #[test]
+    fn retiming_improves_fmax_on_figure13_points_with_zero_latency_change() {
+        // The retiming acceptance bar: at least two Figure 13 design
+        // points get a strictly better estimated fmax, and no point's
+        // latency moves by even one cycle. (Measured: the LA pyramids at
+        // N=8 and N=16 go from ~273 MHz to ~376/403 MHz — their critical
+        // path is the blend-lane adder chain the retimer rebalances; the
+        // N<=4 LA points are bound by the serializer mux cascade feeding
+        // the unmovable convolution cores, and the LI points by the
+        // ready/valid glue that ends in RegEn enables, which retiming
+        // correctly refuses to touch.)
+        let rows = figure13().unwrap();
+        let mut improved = 0;
+        for row in &rows {
+            assert!(row.latency_preserved, "N={}: latency must not change", row.n);
+            for (before, after) in
+                [(&row.lilac, &row.lilac_retimed), (&row.ready_valid, &row.ready_valid_retimed)]
+            {
+                assert!(
+                    after.fmax_mhz >= before.fmax_mhz - 1e-9,
+                    "N={}: retiming must never lower fmax",
+                    row.n
+                );
+                if after.fmax_mhz > before.fmax_mhz * 1.01 {
+                    improved += 1;
+                }
+            }
+        }
+        assert!(
+            improved >= 2,
+            "retiming must improve estimated fmax on at least two Figure 13 design points \
+             (got {improved}): {rows:#?}"
+        );
+    }
+
+    #[test]
+    fn retiming_report_is_sound_and_finds_wins() {
+        let rows = retiming_report(1).unwrap();
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.latency_preserved, "{}: latency must not change", row.design);
+            assert!(
+                row.stats.critical_path_after_ns <= row.stats.critical_path_before_ns + 1e-9,
+                "{}: critical path grew: {:?}",
+                row.design,
+                row.stats
+            );
+        }
+        // At least one bundled paper design must actually move registers
+        // and gain fmax (measured: the elaborated GBP, whose blend lanes
+        // rebalance from 273 MHz to 403 MHz with *fewer* register bits —
+        // the forward moves merge per-operand stages into one).
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.stats.fmax_gain_pct().partial_cmp(&b.stats.fmax_gain_pct()).unwrap())
+            .unwrap();
+        assert!(
+            best.stats.moves() >= 1 && best.stats.fmax_gain_pct() > 10.0,
+            "no paper design gains >10% fmax from retiming: {rows:#?}"
+        );
     }
 
     #[test]

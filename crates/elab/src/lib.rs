@@ -70,17 +70,32 @@ pub struct ElabConfig {
     /// netlist before returning it. Off by default: the raw netlist is what
     /// the differential oracles compare the optimized one *against*.
     pub optimize: bool,
+    /// Run the register-retiming pass (`lilac_opt::retime`) on the
+    /// elaborated top-level netlist before returning it, relocating
+    /// `Reg`/`Delay` stages across combinational logic wherever
+    /// `lilac-synth`'s timing model says the estimated critical path
+    /// shrinks. Applied after the optimizer when both knobs are on
+    /// (retiming a folded netlist finds the real cuts instead of
+    /// soon-to-be-swept ones). Off by default for the same reason as
+    /// [`ElabConfig::optimize`]: the raw netlist is the oracle baseline.
+    pub retime: bool,
 }
 
 impl ElabConfig {
     /// Configuration with a specific registry.
     pub fn with_registry(registry: GeneratorRegistry) -> ElabConfig {
-        ElabConfig { registry, max_depth: 64, optimize: false }
+        ElabConfig { registry, max_depth: 64, optimize: false, retime: false }
     }
 
     /// Enables the netlist-optimizer hook (see [`ElabConfig::optimize`]).
     pub fn optimized(mut self) -> ElabConfig {
         self.optimize = true;
+        self
+    }
+
+    /// Enables the register-retiming hook (see [`ElabConfig::retime`]).
+    pub fn retimed(mut self) -> ElabConfig {
+        self.retime = true;
         self
     }
 }
@@ -131,6 +146,12 @@ pub fn elaborate_module(
         // the pass pipeline (cycle-exactness is the optimizer's contract,
         // enforced by lilac-fuzz's sixth differential oracle).
         module.netlist = lilac_opt::optimize(&module.netlist);
+    }
+    if config.retime {
+        // Same opt-in shape for the retiming pass: cycle-exactness, exact
+        // per-output latency, and a never-worse estimated critical path
+        // are its contract, enforced by the seventh differential oracle.
+        module.netlist = lilac_opt::retime(&module.netlist);
     }
     Ok(module)
 }

@@ -4,11 +4,13 @@
 //! (ordinary `//!` comments, invisible to the parser) that records how to
 //! drive it: the top component, elaboration width, stimulus vectors, and
 //! the expected value and latency of every output *as computed when the
-//! file was generated*. The corpus therefore pins five independent layers
-//! at once: the checker's verdict, elaboration's output parameters, the
-//! simulator's cycle-exact values, and — via the vsim and optimizer
-//! oracles inside the shared drive loop — the Verilog backend's and
-//! `lilac-opt`'s cycle-exact behaviour.
+//! file was generated*. The corpus therefore pins several independent
+//! layers at once: the checker's verdict, elaboration's output parameters,
+//! the simulator's cycle-exact values, and — via the vsim, optimizer, and
+//! retiming oracles inside the shared drive loop — the Verilog backend's,
+//! `lilac_opt::optimize`'s, and `lilac_opt::retime`'s cycle-exact
+//! behaviour (the retimer additionally pinned to exact per-output latency
+//! and a never-worse estimated critical path).
 //!
 //! Files are generated with `cargo run -p lilac-fuzz -- --emit-corpus
 //! fuzz/corpus` and replayed by `tests/corpus.rs` on every `cargo test`.
@@ -180,8 +182,10 @@ pub fn emit_case(scenario: &Scenario) -> Result<String, Failure> {
 
 /// Replays one corpus file: checker A/B (+ expectation), round-trip, and —
 /// for clean cases — elaboration, output-parameter pinning, cycle-exact
-/// simulation against the embedded values, the LA/LI wrapper oracle, and
-/// the Verilog-backend oracle (emit → `lilac-vsim` parse → cycle-compare).
+/// simulation against the embedded values, the LA/LI wrapper oracle, the
+/// Verilog-backend oracle (emit → `lilac-vsim` parse → cycle-compare), the
+/// optimizer oracle, and the retiming oracle (all inside the shared
+/// [`crate::oracle::drive_netlist`] loop).
 ///
 /// # Errors
 ///
@@ -296,6 +300,45 @@ pub fn select(base_seed: u64, count: usize) -> Vec<(String, String)> {
                 out.push((format!("seed{:05}_{tag}.lilac", seed - 1), text));
             }
             Err(_) => continue, // a failing scenario is a bug, not a corpus case
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Picks `count` *retiming-sensitive* corpus scenarios starting at
+/// `base_seed`: clean cases whose elaborated netlist the retimer actually
+/// rewrites (at least one accepted move — unbalanced pipelines, register
+/// cuts behind fan-in, `Concat`/part-select at stage boundaries), so
+/// replaying them exercises the seventh differential oracle beyond its
+/// legality bail-outs. Returns `(file_name, contents)` pairs tagged
+/// `_retime`.
+pub fn select_retiming(base_seed: u64, count: usize) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut seed = base_seed;
+    while out.len() < count && seed < base_seed + 100_000 {
+        let scenario = crate::scenario::generate(crate::case_seed(seed, 0));
+        seed += 1;
+        if scenario.sabotage.is_some() {
+            continue;
+        }
+        let synth = synthesize(&scenario);
+        let params = BTreeMap::from([("W".to_string(), synth.width)]);
+        let Ok(module) =
+            elaborate_module(&synth.program, synth.top, &params, &ElabConfig::default())
+        else {
+            continue;
+        };
+        let (_, stats) = lilac_opt::retime_with_stats(&module.netlist);
+        // Strictly-shortened critical path required, not just accepted
+        // moves: the lexicographic driver can accept endpoint-only moves
+        // (tied lanes where only one is retimable), and the corpus test
+        // asserts the stronger property on every replay.
+        if stats.moves() == 0 || stats.critical_path_after_ns >= stats.critical_path_before_ns {
+            continue;
+        }
+        if let Ok(text) = emit_case(&scenario) {
+            out.push((format!("seed{:05}_retime.lilac", seed - 1), text));
         }
     }
     out.sort_by(|a, b| a.0.cmp(&b.0));

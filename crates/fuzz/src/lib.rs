@@ -5,7 +5,7 @@
 //! *well-typed-by-construction* Lilac programs — compositions of standard
 //! library components, loops and bundles, parameterized generated
 //! sub-components, and FloPoCo generator invocations — and pushes each one
-//! through six differential oracles (see [`oracle`]):
+//! through seven differential oracles (see [`oracle`]):
 //!
 //! 1. every checker configuration (optimized / serial / shared-cache /
 //!    naive) reaches the same verdict;
@@ -21,7 +21,13 @@
 //! 6. the optimized netlist (`lilac_opt::optimize`) never grows the
 //!    design, simulates bit-identically to the unoptimized one, and its
 //!    own emitted Verilog round-trips through `lilac-vsim` to the same
-//!    values (the optimizer oracle).
+//!    values (the optimizer oracle);
+//! 7. the retimed netlist (`lilac_opt::retime`) preserves every output's
+//!    input-to-output register latency exactly, never worsens the
+//!    estimated critical path (`lilac-synth`), simulates bit-identically
+//!    to the raw netlist on every cycle, and its own emitted Verilog
+//!    round-trips through `lilac-vsim` to the same values (the retiming
+//!    oracle).
 //!
 //! A sixth of the cases carry a deliberate one-cycle timing fault and must
 //! be *rejected* — identically — by every checker configuration.

@@ -15,7 +15,11 @@
 //! * `--no-shrink` — report failures without minimizing them
 //! * `--failures DIR` — write each shrunk failing case to `DIR`
 //! * `--emit-corpus DIR` — regenerate the checked-in corpus into `DIR`
-//! * `--corpus-count N` — corpus size for `--emit-corpus` (default 20)
+//! * `--emit-retime-corpus DIR` — emit retiming-sensitive corpus cases
+//!   (clean scenarios whose elaborated netlist the retimer rewrites) into
+//!   `DIR`
+//! * `--corpus-count N` — corpus size for `--emit-corpus` /
+//!   `--emit-retime-corpus` (default 20 / 6)
 //! * `--replay CASE_SEED` — re-run one scenario by the derived case seed a
 //!   failure report prints, echoing the program and verdict
 
@@ -29,7 +33,8 @@ struct Args {
     config: FuzzConfig,
     failures_dir: Option<PathBuf>,
     emit_corpus: Option<PathBuf>,
-    corpus_count: usize,
+    emit_retime_corpus: Option<PathBuf>,
+    corpus_count: Option<usize>,
     replay: Option<u64>,
 }
 
@@ -38,7 +43,8 @@ fn parse_args() -> Result<Args, String> {
         config: FuzzConfig::default(),
         failures_dir: None,
         emit_corpus: None,
-        corpus_count: 20,
+        emit_retime_corpus: None,
+        corpus_count: None,
         replay: None,
     };
     let mut it = std::env::args().skip(1);
@@ -63,14 +69,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--failures" => args.failures_dir = Some(PathBuf::from(value("--failures")?)),
             "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus")?)),
+            "--emit-retime-corpus" => {
+                args.emit_retime_corpus = Some(PathBuf::from(value("--emit-retime-corpus")?))
+            }
             "--corpus-count" => {
-                args.corpus_count =
-                    value("--corpus-count")?.parse().map_err(|e| format!("--corpus-count: {e}"))?
+                args.corpus_count = Some(
+                    value("--corpus-count")?.parse().map_err(|e| format!("--corpus-count: {e}"))?,
+                )
             }
             "--help" | "-h" => {
                 println!(
                     "usage: lilac-fuzz [--cases N] [--seed S] [--no-shrink] [--max-failures N]\n\
-                     \x20                 [--failures DIR] [--emit-corpus DIR] [--corpus-count N]\n\
+                     \x20                 [--failures DIR] [--emit-corpus DIR]\n\
+                     \x20                 [--emit-retime-corpus DIR] [--corpus-count N]\n\
                      \x20                 [--replay CASE_SEED]"
                 );
                 std::process::exit(0);
@@ -90,21 +101,42 @@ fn main() -> ExitCode {
         }
     };
 
-    if let Some(dir) = &args.emit_corpus {
-        let files = lilac_fuzz::corpus::select(args.config.seed, args.corpus_count);
+    let emit = |dir: &PathBuf, files: &[(String, String)], what: &str| -> Result<(), ExitCode> {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create {}: {e}", dir.display());
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
-        for (name, text) in &files {
+        for (name, text) in files {
             let path = dir.join(name);
             if let Err(e) = std::fs::write(&path, text) {
                 eprintln!("error: cannot write {}: {e}", path.display());
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
             println!("wrote {}", path.display());
         }
-        println!("corpus: {} cases under {}", files.len(), dir.display());
+        println!("{what}: {} cases under {}", files.len(), dir.display());
+        Ok(())
+    };
+
+    // Both corpus emissions may be requested in one invocation; neither is
+    // silently dropped.
+    if args.emit_corpus.is_some() || args.emit_retime_corpus.is_some() {
+        if let Some(dir) = &args.emit_corpus {
+            let files =
+                lilac_fuzz::corpus::select(args.config.seed, args.corpus_count.unwrap_or(20));
+            if let Err(code) = emit(dir, &files, "corpus") {
+                return code;
+            }
+        }
+        if let Some(dir) = &args.emit_retime_corpus {
+            let files = lilac_fuzz::corpus::select_retiming(
+                args.config.seed,
+                args.corpus_count.unwrap_or(6),
+            );
+            if let Err(code) = emit(dir, &files, "retime corpus") {
+                return code;
+            }
+        }
         return ExitCode::SUCCESS;
     }
 

@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! Every generated case is pushed through six independent cross-checks:
+//! Every generated case is pushed through seven independent cross-checks:
 //!
 //! 1. **Checker A/B** — the optimized obligation-discharge pipeline
 //!    (slicing + caching + indexed scopes), the serial variant, a variant
@@ -30,9 +30,19 @@
 //!    grow the design, must simulate bit-identically to the unoptimized
 //!    netlist on every output of every cycle, and its own emitted Verilog
 //!    must round-trip through `lilac-vsim` to the same values. This is the
-//!    oracle that holds the rewrite passes (constant folding, CSE, mux
-//!    simplification, delay fusion, dead-node elimination) to the
-//!    cycle-exactness contract.
+//!    oracle that holds the rewrite passes (constant folding, strength
+//!    reduction, CSE, mux simplification, delay fusion, dead-node
+//!    elimination) to the cycle-exactness contract.
+//! 7. **Register retiming** — `lilac_opt::retime(netlist)` must preserve
+//!    per-output path latency exactly
+//!    ([`Netlist::output_min_latencies`](lilac_ir::Netlist) unchanged),
+//!    must never worsen the estimated critical path
+//!    (`lilac_synth::critical_path_ns`), must — driven in lockstep inside
+//!    the same loop — match the raw netlist on every output of every
+//!    cycle from power-up onward, and its own emitted Verilog must
+//!    round-trip through `lilac-vsim` to the same values. This is the
+//!    oracle that pins the first pass that rewrites *where state lives*
+//!    rather than collapsing it.
 
 use crate::scenario::{eval_gen, eval_steps, Scenario};
 use crate::synth::{Latency, Synthesized};
@@ -211,16 +221,19 @@ fn round_trip(synth: &Synthesized) -> Result<(), Failure> {
 /// the expected value for each stimulus vector.
 pub type DrivenOutput = (String, u64, Vec<u64>);
 
-/// Oracles 2, 4, 5 and 6, shared with the corpus replayer: drive `netlist`,
-/// its auto-wrapped LI counterpart, its optimized rewrite
-/// (`lilac_opt::optimize`), and the `lilac-vsim` simulations of both the
-/// raw and the optimized emitted Verilog with the exact-latency streaming
-/// protocol. At cycle `c` the stimulus vector `c mod m` is applied and
-/// every listed output with latency `t <= c` must equal its expected value
-/// for vector `(c - t) mod m`; every output of the core (not only the
-/// listed ones) must match the LI wrapper, the optimized netlist, and both
-/// Verilog simulations bit-for-bit on every cycle. Returns the number of
-/// cycles driven.
+/// Oracles 2, 4, 5, 6 and 7, shared with the corpus replayer: drive
+/// `netlist`, its auto-wrapped LI counterpart, its optimized rewrite
+/// (`lilac_opt::optimize`), its retimed rewrite (`lilac_opt::retime`), and
+/// the `lilac-vsim` simulations of the raw, optimized, and retimed
+/// emitted Verilog with the exact-latency streaming protocol. At cycle `c` the
+/// stimulus vector `c mod m` is applied and every listed output with
+/// latency `t <= c` must equal its expected value for vector
+/// `(c - t) mod m`; every output of the core (not only the listed ones)
+/// must match the LI wrapper, the optimized netlist, the retimed netlist,
+/// and both Verilog simulations bit-for-bit on every cycle. The retimed
+/// netlist must additionally leave every output's minimum input-to-output
+/// register count unchanged and must never worsen the estimated critical
+/// path. Returns the number of cycles driven.
 pub(crate) fn drive_netlist(
     netlist: &lilac_ir::Netlist,
     inputs: &[String],
@@ -314,6 +327,48 @@ pub(crate) fn drive_netlist(
     }
     let mut opt_sim = Simulator::new(&optimized)
         .map_err(|e| Failure::new("opt", format!("optimized netlist rejected: {e}")))?;
+
+    // Oracle 7: the retimed netlist. The structural half of its contract —
+    // per-output path latency exactly preserved, estimated critical path
+    // never worse, interface untouched — is asserted inside
+    // `retime_with_stats` itself; any violation panics there and the
+    // catch_unwind below converts it into a shrinkable `retime` failure,
+    // so those conditions are enforced on every generated case and corpus
+    // replay without recomputing them here. What the pass *cannot*
+    // self-check is behaviour: the lockstep cycle-exact comparison in the
+    // drive loop below, plus the emitted-Verilog round-trip, are this
+    // oracle's own contribution.
+    let retimed =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| lilac_opt::retime(netlist)))
+            .map_err(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| p.downcast_ref::<&str>().copied())
+                    .unwrap_or("retimer panicked");
+                Failure::new("retime", format!("retimer panicked: {msg}"))
+            })?;
+    let mut ret_sim = Simulator::new(&retimed)
+        .map_err(|e| Failure::new("retime", format!("retimed netlist rejected: {e}")))?;
+    // The retimed netlist's own emitted Verilog must round-trip too —
+    // retiming is the only pass that decrements stages to width-masking
+    // `Delay(0)` passthroughs while inserting fresh `_rt`-named stages, and
+    // those shapes deserve the same backend scrutiny the optimizer's
+    // rewrites get.
+    let (mut ret_vsim, ret_v_inputs, ret_v_outputs) =
+        verilog_sim(&retimed, "retime-verilog-parse", "retime-verilog-elab")?;
+    if ret_v_inputs.len() != v_inputs.len() || ret_v_outputs.len() != v_outputs.len() {
+        return Err(Failure::new(
+            "retime-verilog-ports",
+            format!(
+                "retimed module has {}+{} data ports, the raw module {}+{}",
+                ret_v_inputs.len(),
+                ret_v_outputs.len(),
+                v_inputs.len(),
+                v_outputs.len()
+            ),
+        ));
+    }
     let (mut opt_vsim, opt_v_inputs, opt_v_outputs) =
         verilog_sim(&optimized, "opt-verilog-parse", "opt-verilog-elab")?;
     if opt_v_inputs.len() != v_inputs.len() || opt_v_outputs.len() != v_outputs.len() {
@@ -336,8 +391,10 @@ pub(crate) fn drive_netlist(
             sim.set_input(name, stim[k]);
             li_sim.set_input(name, stim[k]);
             opt_sim.set_input(name, stim[k]);
+            ret_sim.set_input(name, stim[k]);
             vsim.set_input(&v_inputs[input_position[k]], stim[k]);
             opt_vsim.set_input(&opt_v_inputs[input_position[k]], stim[k]);
+            ret_vsim.set_input(&ret_v_inputs[input_position[k]], stim[k]);
         }
         for (name, lat, values) in outputs {
             if c < *lat {
@@ -392,12 +449,32 @@ pub(crate) fn drive_netlist(
                     ),
                 ));
             }
+            let ret_got = ret_sim.peek(name);
+            if ret_got != got {
+                return Err(Failure::new(
+                    "retime",
+                    format!(
+                        "output `{name}` at cycle {c}: raw netlist {got:#x}, retimed netlist {ret_got:#x}"
+                    ),
+                ));
+            }
+            let ret_v_got = ret_vsim.peek(&ret_v_outputs[k]);
+            if ret_v_got != got {
+                return Err(Failure::new(
+                    "retime-verilog",
+                    format!(
+                        "output `{name}` at cycle {c}: raw netlist {got:#x}, retimed emitted Verilog {ret_v_got:#x}"
+                    ),
+                ));
+            }
         }
         sim.step();
         li_sim.step();
         vsim.step();
         opt_sim.step();
         opt_vsim.step();
+        ret_sim.step();
+        ret_vsim.step();
     }
     Ok(total)
 }

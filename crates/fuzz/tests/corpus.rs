@@ -4,9 +4,11 @@
 //! recorded output parameters, and simulate cycle-exactly to the recorded
 //! values (plus the LA/LI wrapper oracle, the Verilog-backend oracle —
 //! emitted Verilog parsed and re-simulated by `lilac-vsim` against
-//! `lilac-sim` — and the netlist-optimizer oracle: `lilac_opt::optimize`'s
+//! `lilac-sim` — the netlist-optimizer oracle: `lilac_opt::optimize`'s
 //! rewrite, and its own emitted Verilog, re-simulated the same way on
-//! every replay).
+//! every replay — and the register-retiming oracle: `lilac_opt::retime`'s
+//! rewrite driven in lockstep with exact per-output latency and a
+//! never-worse estimated critical path).
 
 use std::path::PathBuf;
 
@@ -44,12 +46,14 @@ fn every_corpus_case_replays() {
 }
 
 /// The corpus contains the feature mix the fuzzer generates: generator
-/// blocks, sub-components, and sabotaged (rejected) programs.
+/// blocks, sub-components, sabotaged (rejected) programs, and
+/// retiming-sensitive cases.
 #[test]
 fn corpus_covers_the_feature_mix() {
     let mut gen = 0;
     let mut sub = 0;
     let mut reject = 0;
+    let mut retime = 0;
     for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
         let path = entry.expect("entry").path();
         if path.extension().is_none_or(|x| x != "lilac") {
@@ -65,8 +69,57 @@ fn corpus_covers_the_feature_mix() {
         if name.contains("_reject") {
             reject += 1;
         }
+        if name.contains("_retime") {
+            retime += 1;
+        }
     }
     assert!(gen >= 3, "want generator-block cases, found {gen}");
     assert!(sub >= 3, "want sub-component cases, found {sub}");
     assert!(reject >= 3, "want rejected cases, found {reject}");
+    assert!(retime >= 5, "want retiming-sensitive cases, found {retime}");
+}
+
+/// Every `_retime` corpus case must actually *move* registers: replaying
+/// one (see [`every_corpus_case_replays`]) drives the seventh oracle, and
+/// these cases guarantee the oracle exercises accepted forward/backward
+/// moves — unbalanced pipelines, fan-in behind a register cut — rather
+/// than only its legality bail-outs.
+#[test]
+fn retime_corpus_cases_exercise_the_seventh_oracle() {
+    let mut exercised = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.contains("_retime") || path.extension().is_none_or(|x| x != "lilac") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("corpus file reads");
+        let d = lilac_fuzz::corpus::parse_directives(&text).expect("directives parse");
+        let (program, _) =
+            lilac_ast::parse_program("corpus.lilac", &text).expect("corpus program parses");
+        let params = std::collections::BTreeMap::from([("W".to_string(), d.width)]);
+        let module = lilac_elab::elaborate_module(
+            &program,
+            &d.top,
+            &params,
+            &lilac_elab::ElabConfig::default(),
+        )
+        .expect("corpus case elaborates");
+        let (retimed, stats) = lilac_opt::retime_with_stats(&module.netlist);
+        assert!(
+            stats.moves() >= 1,
+            "{name}: retiming-sensitive case has no accepted move: {stats:?}"
+        );
+        assert!(
+            stats.critical_path_after_ns < stats.critical_path_before_ns,
+            "{name}: accepted moves must shorten the estimated critical path: {stats:?}"
+        );
+        assert_eq!(
+            retimed.output_min_latencies(),
+            module.netlist.output_min_latencies(),
+            "{name}: retiming changed a per-output latency"
+        );
+        exercised += 1;
+    }
+    assert!(exercised >= 5, "want retiming-sensitive corpus cases, found {exercised}");
 }

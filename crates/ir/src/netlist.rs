@@ -243,6 +243,19 @@ impl NodeKind {
     }
 }
 
+/// Per-node result of [`Netlist::combinational_slack`]: the lengths (in
+/// combinational nodes) of the longest purely combinational paths ending at
+/// and leaving a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CombSlack {
+    /// Combinational nodes on the longest combinational path ending at this
+    /// node, counting the node itself when it is combinational.
+    pub depth_in: u32,
+    /// Combinational nodes on the longest combinational path leaving this
+    /// node, not counting the node itself.
+    pub depth_out: u32,
+}
+
 /// A node in a netlist.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Node {
@@ -556,6 +569,118 @@ impl Netlist {
         } else {
             None
         }
+    }
+
+    /// Consumer table: for every node, the nodes that read it, one entry
+    /// per operand edge (a node reading the same operand twice appears
+    /// twice). This is the reverse of the operand relation; the timing
+    /// traversals ([`Netlist::output_min_latencies`]) and the retimer's
+    /// legality checks (`lilac-opt`) share this one definition so the edge
+    /// semantics cannot drift between them.
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (id, node) in self.nodes.iter_enumerated() {
+            for input in &node.inputs {
+                consumers[input.0 as usize].push(id);
+            }
+        }
+        consumers
+    }
+
+    /// Per-node combinational slack: for every node, the number of
+    /// *combinational* nodes on the longest purely combinational path ending
+    /// at it (`depth_in`, counting the node itself when it is combinational)
+    /// and the number on the longest combinational path leaving it
+    /// (`depth_out`, not counting the node itself). Sequential nodes,
+    /// inputs, and constants have `depth_in = 0`; a node whose consumers are
+    /// all sequential (or that drives only output ports) has
+    /// `depth_out = 0`.
+    ///
+    /// This is the structural half of a timing query: a register sits "deep"
+    /// in combinational logic exactly when the adjacent `depth_in`/
+    /// `depth_out` are large, which is what a retiming pass uses to find
+    /// cuts worth moving state across (`lilac-opt`'s `retime`; the
+    /// nanosecond-weighted version lives in `lilac-synth`).
+    ///
+    /// Returns `None` iff a purely combinational cycle exists (the same
+    /// condition under which [`Netlist::combinational_order`] returns
+    /// `None`).
+    pub fn combinational_slack(&self) -> Option<Vec<CombSlack>> {
+        let order = self.combinational_order()?;
+        let n = self.nodes.len();
+        let mut slack = vec![CombSlack { depth_in: 0, depth_out: 0 }; n];
+        // Forward: longest chain of combinational nodes ending at each node.
+        for &id in &order {
+            let node = &self.nodes[id];
+            if node.kind.is_sequential()
+                || matches!(node.kind, NodeKind::Input(_) | NodeKind::Const(_))
+            {
+                continue;
+            }
+            let longest_in =
+                node.inputs.iter().map(|i| slack[i.0 as usize].depth_in).max().unwrap_or(0);
+            slack[id.0 as usize].depth_in = longest_in + 1;
+        }
+        // Backward: longest chain of combinational nodes reachable from each
+        // node through combinational consumers.
+        for &id in order.iter().rev() {
+            let node = &self.nodes[id];
+            if node.kind.is_sequential() {
+                // A sequential node's operand edges are sampled at the clock
+                // edge; no combinational path continues through it.
+                continue;
+            }
+            let contribution = slack[id.0 as usize].depth_out + 1;
+            for &input in &node.inputs {
+                let s = &mut slack[input.0 as usize];
+                s.depth_out = s.depth_out.max(contribution);
+            }
+        }
+        Some(slack)
+    }
+
+    /// For every declared output, the minimum number of register stages on
+    /// any path from a module input ([`NodeKind::Input`]) to that output —
+    /// the earliest cycle at which an input can influence the output's
+    /// value. `None` for an output unreachable from any input (a register
+    /// ring, or a constant-fed pipeline: constant streams are
+    /// time-invariant, so they carry no latency to measure).
+    ///
+    /// Retiming relocates registers along paths without ever changing any
+    /// path's total register count, so this vector is a *retiming
+    /// invariant*: `retime(n).output_min_latencies() ==
+    /// n.output_min_latencies()` is the latency-preservation contract the
+    /// seventh differential oracle (and `figure8 --check`) pins.
+    pub fn output_min_latencies(&self) -> Vec<(String, Option<u64>)> {
+        // Dijkstra over the operand graph read consumer-ward, with per-node
+        // weight `pipeline_depth` (all weights >= 0): reaching a consumer
+        // costs the consumer's own register depth.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.nodes.len();
+        let consumers = self.consumers();
+        let mut dist: Vec<Option<u64>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (id, node) in self.nodes.iter_enumerated() {
+            if matches!(node.kind, NodeKind::Input(_)) {
+                dist[id.0 as usize] = Some(0);
+                heap.push(Reverse((0, id.0 as usize)));
+            }
+        }
+        while let Some(Reverse((d, i))) = heap.pop() {
+            if dist[i] != Some(d) {
+                continue; // superseded entry
+            }
+            for &c in &consumers[i] {
+                let c = c.0 as usize;
+                let cost = d + self.nodes[NodeId(c as u32)].kind.pipeline_depth() as u64;
+                if dist[c].is_none_or(|cur| cost < cur) {
+                    dist[c] = Some(cost);
+                    heap.push(Reverse((cost, c)));
+                }
+            }
+        }
+        self.outputs.iter().map(|(p, id)| (p.name.clone(), dist[id.0 as usize])).collect()
     }
 
     /// Merges another netlist into this one as a sub-block, connecting the

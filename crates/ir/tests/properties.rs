@@ -1,5 +1,7 @@
-//! Property tests for [`Netlist::combinational_order`], driven by the
-//! in-repo deterministic PRNG (`lilac_util::rng::Rng`):
+//! Property tests for [`Netlist::combinational_order`] and the structural
+//! timing traversals next to it ([`Netlist::combinational_slack`],
+//! [`Netlist::output_min_latencies`]), driven by the in-repo deterministic
+//! PRNG (`lilac_util::rng::Rng`):
 //!
 //! * when an order is returned it is a valid topological order over the
 //!   *combinational* edges (every combinational node appears after all of
@@ -7,7 +9,13 @@
 //! * the function is deterministic: equal netlists yield equal orders;
 //! * it returns `None` exactly when a purely combinational cycle exists,
 //!   as judged by an independent DFS cycle detector written against the
-//!   same edge definition.
+//!   same edge definition;
+//! * `combinational_slack` agrees with a per-edge consistency relation
+//!   (each combinational node is one deeper than its deepest operand, and
+//!   each node's `depth_out` is the max over its combinational consumers'
+//!   `depth_out + 1`), and returns `Some` exactly when an order exists;
+//! * `output_min_latencies` matches an independent exhaustive
+//!   Bellman–Ford-style relaxation over register counts.
 
 use lilac_ir::{Netlist, NodeId, NodeKind, PipeOp};
 use lilac_util::rng::Rng;
@@ -198,6 +206,157 @@ fn none_exactly_when_a_combinational_cycle_exists() {
     }
     assert!(cyclic >= 20, "generator must produce cyclic cases: {cyclic}");
     assert!(acyclic >= 100, "generator must produce acyclic cases: {acyclic}");
+}
+
+#[test]
+fn slack_satisfies_the_per_edge_consistency_relation() {
+    let mut checked = 0;
+    for seed in 0..300 {
+        let n = random_netlist(seed);
+        let slack = n.combinational_slack();
+        assert_eq!(
+            slack.is_some(),
+            n.combinational_order().is_some(),
+            "seed {seed}: slack and order must agree on cyclicity"
+        );
+        let Some(slack) = slack else { continue };
+        checked += 1;
+        assert_eq!(slack.len(), n.node_count());
+        // depth_in: 0 on sources and sequential nodes; 1 + max operand
+        // depth_in on combinational nodes.
+        for (id, node) in n.iter() {
+            let s = slack[id.0 as usize];
+            let comb = !node.kind.is_sequential()
+                && !matches!(node.kind, NodeKind::Input(_) | NodeKind::Const(_));
+            if comb {
+                let deepest =
+                    node.inputs.iter().map(|i| slack[i.0 as usize].depth_in).max().unwrap_or(0);
+                assert_eq!(s.depth_in, deepest + 1, "seed {seed}: node {id} depth_in");
+            } else {
+                assert_eq!(s.depth_in, 0, "seed {seed}: node {id} is a path start");
+            }
+        }
+        // depth_out: max over combinational consumers of depth_out + 1.
+        let mut expect_out = vec![0u32; n.node_count()];
+        for (id, node) in n.iter() {
+            if node.kind.is_sequential() {
+                continue;
+            }
+            if matches!(node.kind, NodeKind::Input(_) | NodeKind::Const(_)) {
+                continue;
+            }
+            for input in &node.inputs {
+                let e = &mut expect_out[input.0 as usize];
+                *e = (*e).max(slack[id.0 as usize].depth_out + 1);
+            }
+        }
+        for (id, _) in n.iter() {
+            assert_eq!(
+                slack[id.0 as usize].depth_out, expect_out[id.0 as usize],
+                "seed {seed}: node {id} depth_out"
+            );
+        }
+    }
+    assert!(checked >= 100, "generator must produce plenty of acyclic cases: {checked}");
+}
+
+/// Independent ground truth for `output_min_latencies`: relax register
+/// counts to a fixpoint over every operand edge (a Bellman–Ford that also
+/// converges on cyclic netlists, since weights are non-negative and we only
+/// ever lower distances).
+fn min_latencies_fixpoint(n: &Netlist) -> Vec<(String, Option<u64>)> {
+    let count = n.node_count();
+    let mut dist: Vec<Option<u64>> = vec![None; count];
+    for (id, node) in n.iter() {
+        if matches!(node.kind, NodeKind::Input(_)) {
+            dist[id.0 as usize] = Some(0);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (id, node) in n.iter() {
+            let weight = node.kind.pipeline_depth() as u64;
+            for input in &node.inputs {
+                if let Some(d) = dist[input.0 as usize] {
+                    let cost = d + weight;
+                    let slot = &mut dist[id.0 as usize];
+                    if slot.is_none_or(|cur| cost < cur) {
+                        *slot = Some(cost);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    n.outputs.iter().map(|(p, id)| (p.name.clone(), dist[id.0 as usize])).collect()
+}
+
+#[test]
+fn output_min_latencies_match_the_exhaustive_relaxation() {
+    for seed in 0..300 {
+        let n = random_netlist(seed);
+        assert_eq!(
+            n.output_min_latencies(),
+            min_latencies_fixpoint(&n),
+            "seed {seed}: Dijkstra and the fixpoint relaxation disagree"
+        );
+    }
+}
+
+#[test]
+fn min_latencies_on_known_shapes() {
+    // i -> Reg -> Delay(2) -> o: three registers on the only path.
+    let mut n = Netlist::new("chain");
+    let i = n.add_input("i", 8);
+    let r = n.add_node(NodeKind::Reg, vec![i], 8, "r");
+    let d = n.add_node(NodeKind::Delay(2), vec![r], 8, "d");
+    n.add_output("o", d);
+    assert_eq!(n.output_min_latencies(), vec![("o".to_string(), Some(3))]);
+
+    // Two paths of different depth into a mux: the minimum wins.
+    let mut m = Netlist::new("diamond");
+    let i = m.add_input("i", 8);
+    let s = m.add_input("s", 1);
+    let slow = m.add_node(NodeKind::Delay(4), vec![i], 8, "slow");
+    let fast = m.add_node(NodeKind::Reg, vec![i], 8, "fast");
+    let mux = m.add_node(NodeKind::Mux, vec![s, slow, fast], 8, "mux");
+    m.add_output("o", mux);
+    // The select input reaches the mux with zero registers.
+    assert_eq!(m.output_min_latencies(), vec![("o".to_string(), Some(0))]);
+
+    // An isolated register ring driving an output: unreachable from any
+    // primary source.
+    let mut ring = Netlist::new("ring");
+    let _i = ring.add_input("i", 8);
+    let r1 = ring.add_node(NodeKind::Reg, vec![NodeId(0)], 8, "r1");
+    let r2 = ring.add_node(NodeKind::Reg, vec![r1], 8, "r2");
+    ring.set_inputs(r1, vec![r2]);
+    ring.add_output("o", r1);
+    // r1 reads r2 reads r1 — but r1's original input edge to the module
+    // input was rewired away, so no source reaches the ring.
+    assert_eq!(ring.output_min_latencies(), vec![("o".to_string(), None)]);
+}
+
+#[test]
+fn slack_on_a_known_pipeline() {
+    // i -> add1 -> add2 -> Reg -> not -> o
+    let mut n = Netlist::new("pipe");
+    let i = n.add_input("i", 8);
+    let a1 = n.add_node(NodeKind::Add, vec![i, i], 8, "a1");
+    let a2 = n.add_node(NodeKind::Add, vec![a1, i], 8, "a2");
+    let r = n.add_node(NodeKind::Reg, vec![a2], 8, "r");
+    let inv = n.add_node(NodeKind::Not, vec![r], 8, "inv");
+    n.add_output("o", inv);
+    let slack = n.combinational_slack().unwrap();
+    let at = |id: NodeId| slack[id.0 as usize];
+    assert_eq!((at(i).depth_in, at(i).depth_out), (0, 2), "input feeds the 2-add chain");
+    assert_eq!((at(a1).depth_in, at(a1).depth_out), (1, 1));
+    assert_eq!((at(a2).depth_in, at(a2).depth_out), (2, 0), "register cuts the chain");
+    assert_eq!((at(r).depth_in, at(r).depth_out), (0, 1), "reg starts the `not` chain");
+    assert_eq!((at(inv).depth_in, at(inv).depth_out), (1, 0));
 }
 
 #[test]

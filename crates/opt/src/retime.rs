@@ -1,0 +1,628 @@
+//! Register retiming driven by the synthesis cost model.
+//!
+//! The fusion pass in the parent crate can *shorten* a register chain but
+//! never *move* one: wherever elaboration happened to place pipeline
+//! stages, that is where the critical path gets cut, and `lilac-synth`'s
+//! `fmax` numbers are stuck there. This module relocates `Reg`/`Delay`
+//! stages across combinational logic to balance stage delays — the first
+//! pass in the workspace that rewrites *where state lives* rather than
+//! collapsing it — while preserving the contract every backend relies on:
+//! the retimed netlist is **cycle-for-cycle, bit-for-bit equivalent on
+//! every output, from power-up onward**.
+//!
+//! # The two moves
+//!
+//! *Forward* (across a combinational node `c`, toward the outputs): every
+//! non-constant operand of `c` is a `Reg`/`Delay(d ≥ 1)` stage consumed
+//! only by `c`; each such stage loses one cycle of depth and a fresh
+//! one-cycle stage is inserted after `c` (every former reader of `c`,
+//! output ports included, now reads the new stage).
+//!
+//! *Backward* (across the combinational node `c` driving a stage, toward
+//! the inputs): a `Reg`/`Delay(d ≥ 1)` stage whose sole upstream is `c`
+//! (and `c` is consumed by nothing else) loses one cycle of depth, and
+//! every non-constant operand of `c` gains a fresh one-cycle stage at the
+//! operand's own declared width.
+//!
+//! # Legality
+//!
+//! Both moves preserve the register count of **every** input-to-output
+//! path (so per-output path latency is exactly unchanged —
+//! [`Netlist::output_min_latencies`] is asserted invariant), and:
+//!
+//! * registers never move across state-carrying nodes: only `Reg`/`Delay`
+//!   stages move, only across combinational nodes, so `RegEn` and
+//!   pipelined cores are never crossed and never relocated (a `RegEn`'s
+//!   load/hold history, or a core's internal pipe, is not a delay line);
+//! * declared widths are respected at every cut: a decremented stage keeps
+//!   its width (its mask stays exactly where it was — `Delay(0)` still
+//!   masks combinationally), the forward move's new stage carries `c`'s
+//!   width, and the backward move's new stages carry each operand's width,
+//!   so no mask is skipped, narrowed, or widened;
+//! * no move can create a combinational cycle: a stage decremented to
+//!   `Delay(0)` becomes transparent, but every path through it still
+//!   passes the freshly inserted one-cycle stage (forward: all its
+//!   consumers route through the new stage; backward: all of `c`'s
+//!   operands do), which re-breaks any loop. The driver re-checks
+//!   [`Netlist::combinational_order`] after every accepted move anyway;
+//! * zero power-up boundary: with all state powering up at zero, moving a
+//!   register across `c` changes what the boundary cycles observe from
+//!   `c(0, …, 0, consts…)` to a register's initial 0. The move is only
+//!   legal when those agree — `c`'s value over zeroed non-constant
+//!   operands and actual constant operands, masked to `c`'s width, must
+//!   be 0. (`Add`/`Mul`/`And`/`Or`/`Xor`/`Concat`/`Slice`/`Mux`… over
+//!   zeros are zero; `Not` and `Eq` are not, and never retime.)
+//!
+//! # The driver
+//!
+//! Candidate moves are enumerated structurally (pruned by
+//! [`Netlist::combinational_slack`]: a forward move needs combinational
+//! logic *after* the node, a backward move needs it *before*), then scored
+//! by [`lilac_synth::timing_detail`] — the same analytic timing model
+//! `EXPERIMENTS.md`'s tables are built from. The objective is
+//! lexicographic: the estimated critical path first, the *size of the
+//! critical set* (endpoints tied at the maximum) second. The secondary
+//! term is what makes tied parallel paths retimable at all: with N
+//! identical blend lanes at the critical delay, no single move shortens
+//! the maximum, but each move that rebalances one lane empties the
+//! critical set by one — and rebalancing the last lane drops the path
+//! itself. The fixpoint loop applies the best strictly-improving move
+//! until none remains, so the pair decreases monotonically and
+//! `critical_path_ns(retime(n)) <= critical_path_ns(n)` holds by
+//! construction. The fuzzer's seventh differential oracle holds the rest:
+//! `retime(n) ≡ n` under `lilac-sim` on every output of every cycle.
+
+use lilac_ir::{mask, Netlist, NodeId, NodeKind};
+use lilac_synth::timing_detail;
+use std::collections::HashMap;
+
+/// Minimum critical-path improvement (ns) for a move to be accepted; keeps
+/// the fixpoint from churning on floating-point dust.
+const MIN_GAIN_NS: f64 = 1e-6;
+
+/// Safety cap on accepted moves (each strictly improves the critical path,
+/// so this is a backstop, not a budget).
+const MAX_MOVES: usize = 256;
+
+/// Per-run statistics of one [`retime`] invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RetimeStats {
+    /// Nodes before retiming (including inputs).
+    pub nodes_before: usize,
+    /// Nodes after retiming (forward/backward moves insert fresh stages).
+    pub nodes_after: usize,
+    /// Total register bits (`pipeline_depth × width`) before retiming.
+    pub register_bits_before: u64,
+    /// Total register bits after retiming.
+    pub register_bits_after: u64,
+    /// Accepted forward moves (registers relocated toward the outputs).
+    pub forward_moves: usize,
+    /// Accepted backward moves (registers relocated toward the inputs).
+    pub backward_moves: usize,
+    /// Candidate moves scored against the cost model across all rounds.
+    pub candidates_scored: usize,
+    /// Estimated critical path before retiming, in ns.
+    pub critical_path_before_ns: f64,
+    /// Estimated critical path after retiming, in ns.
+    pub critical_path_after_ns: f64,
+}
+
+impl RetimeStats {
+    /// Total accepted moves.
+    pub fn moves(&self) -> usize {
+        self.forward_moves + self.backward_moves
+    }
+
+    /// Estimated fmax gain in percent (0 when nothing moved).
+    pub fn fmax_gain_pct(&self) -> f64 {
+        if self.critical_path_after_ns <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.critical_path_before_ns / self.critical_path_after_ns - 1.0)
+        }
+    }
+}
+
+/// A candidate register relocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Move {
+    /// Move one register cycle from every (non-constant) operand stage of
+    /// this combinational node to a fresh stage after it.
+    Forward(NodeId),
+    /// Move one register cycle from this stage to fresh stages on every
+    /// (non-constant) operand of the combinational node driving it.
+    Backward(NodeId),
+}
+
+/// Consumer table: every reader of each node (one entry per operand edge)
+/// plus whether the node drives a declared output port.
+struct Uses {
+    consumers: Vec<Vec<NodeId>>,
+    drives_output: Vec<bool>,
+}
+
+fn uses(n: &Netlist) -> Uses {
+    let consumers = n.consumers();
+    let mut drives_output = vec![false; n.node_count()];
+    for (_, driver) in &n.outputs {
+        drives_output[driver.0 as usize] = true;
+    }
+    Uses { consumers, drives_output }
+}
+
+/// Depth of a relocatable stage: `Reg` and `Delay` only. `RegEn` and
+/// pipelined cores are state-carrying, not delay lines — never moved.
+fn stage_depth(kind: &NodeKind) -> Option<u32> {
+    match kind {
+        NodeKind::Reg => Some(1),
+        NodeKind::Delay(d) => Some(*d),
+        _ => None,
+    }
+}
+
+/// True for nodes a register may move across: combinational, with at least
+/// one operand (rules out `Input`/`Const`, which are path endpoints).
+fn crossable(kind: &NodeKind) -> bool {
+    !kind.is_sequential() && !matches!(kind, NodeKind::Input(_) | NodeKind::Const(_))
+}
+
+/// The value `c` shows during boundary cycles, when every moved stage
+/// still holds its power-up zero: `c` evaluated over 0 for each
+/// non-constant operand and the actual value of each `Const` operand,
+/// masked to `c`'s width. A move across `c` is exact iff this is 0.
+fn powerup_value(n: &Netlist, c: NodeId) -> Option<u64> {
+    let node = n.node(c);
+    let operands: Vec<(u64, u32)> = node
+        .inputs
+        .iter()
+        .map(|&x| {
+            let op = n.node(x);
+            match op.kind {
+                NodeKind::Const(v) => (mask(v, op.width), op.width),
+                _ => (0, op.width),
+            }
+        })
+        .collect();
+    node.kind.comb_value(&operands, node.width)
+}
+
+/// Decrements a `Reg`/`Delay` stage by one cycle in place.
+fn decrement_stage(n: &mut Netlist, s: NodeId) {
+    let node = n.node_mut(s);
+    node.kind = match node.kind {
+        NodeKind::Reg => NodeKind::Delay(0),
+        NodeKind::Delay(d) => {
+            debug_assert!(d >= 1, "cannot decrement a passthrough");
+            NodeKind::Delay(d - 1)
+        }
+        ref other => unreachable!("decrement of non-stage node {other:?}"),
+    };
+}
+
+/// Enumerates every legal candidate move, in deterministic (node-id)
+/// order, pruned to moves that can plausibly shorten a combinational path:
+/// forward moves need logic downstream of the crossed node, backward moves
+/// need logic upstream of it.
+fn candidates(n: &Netlist) -> Vec<Move> {
+    let Some(slack) = n.combinational_slack() else { return Vec::new() };
+    let u = uses(n);
+    let mut moves = Vec::new();
+    for (id, node) in n.iter() {
+        // Forward: `id` is the combinational node being crossed.
+        if crossable(&node.kind)
+            && !node.inputs.is_empty()
+            && slack[id.0 as usize].depth_out >= 1
+            && forward_operands_legal(n, node, &u, id)
+            && powerup_value(n, id) == Some(0)
+        {
+            moves.push(Move::Forward(id));
+        }
+        // Backward: `id` is the stage whose driver is crossed.
+        if stage_depth(&node.kind).is_some_and(|d| d >= 1) {
+            let c = node.inputs[0];
+            let cn = n.node(c);
+            if crossable(&cn.kind)
+                && slack[c.0 as usize].depth_in >= 2
+                && u.consumers[c.0 as usize].iter().all(|&r| r == id)
+                && !u.drives_output[c.0 as usize]
+                && powerup_value(n, c) == Some(0)
+            {
+                moves.push(Move::Backward(id));
+            }
+        }
+    }
+    moves
+}
+
+/// Forward-move operand legality: every non-constant operand is a
+/// `Reg`/`Delay(d ≥ 1)` stage consumed only by `c` (and by no output
+/// port), and at least one such stage exists.
+fn forward_operands_legal(n: &Netlist, c_node: &lilac_ir::Node, u: &Uses, c: NodeId) -> bool {
+    let mut any_stage = false;
+    for &x in &c_node.inputs {
+        let xn = n.node(x);
+        if matches!(xn.kind, NodeKind::Const(_)) {
+            continue;
+        }
+        match stage_depth(&xn.kind) {
+            Some(d) if d >= 1 => {}
+            _ => return false,
+        }
+        if u.drives_output[x.0 as usize] || !u.consumers[x.0 as usize].iter().all(|&r| r == c) {
+            return false;
+        }
+        any_stage = true;
+    }
+    any_stage
+}
+
+/// Applies a move. Both rewrites add exactly one fresh stage node (forward)
+/// or one per distinct non-constant operand (backward).
+fn apply(n: &mut Netlist, mv: Move) {
+    match mv {
+        Move::Forward(c) => {
+            // Decrement each distinct non-constant operand stage once.
+            let operands = n.node(c).inputs.clone();
+            let mut seen: Vec<NodeId> = Vec::new();
+            for x in operands {
+                if matches!(n.node(x).kind, NodeKind::Const(_)) || seen.contains(&x) {
+                    continue;
+                }
+                seen.push(x);
+                decrement_stage(n, x);
+            }
+            // Fresh one-cycle stage after `c`; every other reader of `c`
+            // (and every output port `c` drove) now reads it.
+            let width = n.node(c).width;
+            let name = format!("{}_rt", n.node(c).name);
+            let fresh = n.add_node(NodeKind::Delay(1), vec![c], width, name);
+            let ids: Vec<NodeId> = n.iter().map(|(id, _)| id).collect();
+            for id in ids {
+                if id == fresh {
+                    continue;
+                }
+                let node = n.node_mut(id);
+                for input in &mut node.inputs {
+                    if *input == c {
+                        *input = fresh;
+                    }
+                }
+            }
+            for (_, driver) in &mut n.outputs {
+                if *driver == c {
+                    *driver = fresh;
+                }
+            }
+        }
+        Move::Backward(s) => {
+            let c = n.node(s).inputs[0];
+            decrement_stage(n, s);
+            // Fresh one-cycle stage on each distinct non-constant operand
+            // of `c`, at the operand's own width (identity mask).
+            let operands = n.node(c).inputs.clone();
+            let mut fresh: HashMap<NodeId, NodeId> = HashMap::new();
+            let mut rewired = Vec::with_capacity(operands.len());
+            for x in operands {
+                if matches!(n.node(x).kind, NodeKind::Const(_)) {
+                    rewired.push(x);
+                    continue;
+                }
+                let stage = *fresh.entry(x).or_insert_with(|| {
+                    let width = n.node(x).width;
+                    let name = format!("{}_rt", n.node(x).name);
+                    n.add_node(NodeKind::Delay(1), vec![x], width, name)
+                });
+                rewired.push(stage);
+            }
+            n.node_mut(c).inputs = rewired;
+        }
+    }
+}
+
+/// Retimes a netlist: see the module docs. Returns the rewritten netlist.
+///
+/// # Panics
+///
+/// Panics if `netlist` fails [`Netlist::validate`] or contains a
+/// combinational cycle, or if the pass violates its own contract
+/// (validation, acyclicity, unchanged interface, unchanged per-output
+/// minimum latency, or a critical path worse than the input) — those would
+/// be retimer bugs, and the seventh differential oracle in `lilac-fuzz`
+/// exists to keep them loud.
+pub fn retime(netlist: &Netlist) -> Netlist {
+    retime_with_stats(netlist).0
+}
+
+/// [`retime`], also returning the per-run [`RetimeStats`].
+///
+/// # Panics
+///
+/// See [`retime`].
+pub fn retime_with_stats(netlist: &Netlist) -> (Netlist, RetimeStats) {
+    netlist.validate().expect("retime: input netlist must validate");
+    assert!(
+        netlist.combinational_order().is_some(),
+        "retime: input netlist `{}` has a combinational cycle",
+        netlist.name
+    );
+    let register_bits = |n: &Netlist| -> u64 {
+        n.iter().map(|(_, node)| node.kind.pipeline_depth() as u64 * node.width as u64).sum()
+    };
+    let mut n = netlist.clone();
+    let mut stats = RetimeStats {
+        nodes_before: n.node_count(),
+        register_bits_before: register_bits(&n),
+        ..RetimeStats::default()
+    };
+    // The driver's objective is lexicographic: first the critical path,
+    // then the *size of the critical set* (endpoints within tolerance of
+    // the maximum). The second component is what makes tied parallel paths
+    // retimable at all — with four identical blend lanes at 3.66 ns, no
+    // single move shortens the maximum, but each move that rebalances one
+    // lane empties the critical set by one, and the last one drops the
+    // path itself. Every accepted move strictly decreases the pair, so the
+    // fixpoint terminates.
+    let mut current = timing_detail(&n);
+    stats.critical_path_before_ns = current.critical_path_ns;
+    let lex_better = |a: &lilac_synth::TimingDetail, b: &lilac_synth::TimingDetail| -> bool {
+        a.critical_path_ns < b.critical_path_ns - MIN_GAIN_NS
+            || (a.critical_path_ns <= b.critical_path_ns + 1e-9
+                && a.critical_endpoints < b.critical_endpoints)
+    };
+    while stats.moves() < MAX_MOVES {
+        // Score every candidate against the cost model; keep the best
+        // strictly-improving one (first wins ties: deterministic).
+        //
+        // Each probe clones the netlist and recomputes full timing — a
+        // deliberate trade of asymptotics for obviousness: moves stay
+        // trivially side-effect-free, and the measured cost is microseconds
+        // to low milliseconds per *complete* retime on the bundled paper
+        // designs (`cargo bench -p lilac-bench`, `retime/...` rows), with
+        // fuzz-case netlists far smaller. Incremental rescoring (apply +
+        // undo, cone-limited arrival updates) is the upgrade path if a
+        // future workload makes this the bottleneck.
+        let mut best: Option<(Move, Netlist, lilac_synth::TimingDetail)> = None;
+        for mv in candidates(&n) {
+            let mut probe = n.clone();
+            apply(&mut probe, mv);
+            stats.candidates_scored += 1;
+            let timing = timing_detail(&probe);
+            if lex_better(&timing, &current)
+                && best.as_ref().is_none_or(|(_, _, b)| lex_better(&timing, b))
+            {
+                best = Some((mv, probe, timing));
+            }
+        }
+        let Some((mv, probe, timing)) = best else { break };
+        debug_assert!(probe.validate().is_ok(), "retime: move {mv:?} broke validation");
+        assert!(
+            probe.combinational_order().is_some(),
+            "retime: move {mv:?} created a combinational cycle"
+        );
+        match mv {
+            Move::Forward(_) => stats.forward_moves += 1,
+            Move::Backward(_) => stats.backward_moves += 1,
+        }
+        n = probe;
+        current = timing;
+    }
+    n.validate().expect("retime: retimed netlist must validate");
+    assert_eq!(n.inputs, netlist.inputs, "retime: input ports are interface");
+    assert_eq!(
+        n.outputs.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>(),
+        netlist.outputs.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>(),
+        "retime: output ports are interface"
+    );
+    assert_eq!(
+        n.output_min_latencies(),
+        netlist.output_min_latencies(),
+        "retime: per-output path latency must be exactly preserved"
+    );
+    stats.critical_path_after_ns = current.critical_path_ns;
+    assert!(
+        stats.critical_path_after_ns <= stats.critical_path_before_ns + 1e-9,
+        "retime: critical path grew from {} to {} ns",
+        stats.critical_path_before_ns,
+        stats.critical_path_after_ns
+    );
+    stats.nodes_after = n.node_count();
+    stats.register_bits_after = register_bits(&n);
+    (n, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lilac_ir::PipeOp;
+    use lilac_sim::Simulator;
+    use std::collections::HashMap;
+
+    fn assert_cycle_exact(a: &Netlist, b: &Netlist, cycles: usize) {
+        let mut rng = lilac_util::rng::Rng::new(0x5eed);
+        let mut sim_a = Simulator::new(a).expect("original simulates");
+        let mut sim_b = Simulator::new(b).expect("retimed simulates");
+        let outputs = sim_a.output_names();
+        for cycle in 0..cycles {
+            let stim: HashMap<String, u64> =
+                a.inputs.iter().map(|p| (p.name.clone(), rng.next_u64())).collect();
+            sim_a.set_inputs(&stim);
+            sim_b.set_inputs(&stim);
+            for name in &outputs {
+                assert_eq!(
+                    sim_a.peek(name),
+                    sim_b.peek(name),
+                    "output `{name}` diverged at cycle {cycle} of `{}`",
+                    a.name
+                );
+            }
+            sim_a.step();
+            sim_b.step();
+        }
+    }
+
+    /// An unbalanced two-stage pipeline: all the logic (two chained adds)
+    /// sits in the first stage, the second stage is an empty register. A
+    /// backward move across the second add balances it.
+    fn unbalanced() -> Netlist {
+        let mut n = Netlist::new("unbalanced");
+        let a = n.add_input("a", 16);
+        let b = n.add_input("b", 16);
+        let c = n.add_input("c", 16);
+        let s1 = n.add_node(NodeKind::Add, vec![a, b], 16, "s1");
+        let s2 = n.add_node(NodeKind::Add, vec![s1, c], 16, "s2");
+        let r1 = n.add_node(NodeKind::Reg, vec![s2], 16, "r1");
+        let r2 = n.add_node(NodeKind::Reg, vec![r1], 16, "r2");
+        n.add_output("o", r2);
+        n
+    }
+
+    #[test]
+    fn backward_move_balances_an_unbalanced_pipeline() {
+        let n = unbalanced();
+        let (ret, stats) = retime_with_stats(&n);
+        assert!(stats.moves() >= 1, "{stats:?}");
+        assert!(stats.critical_path_after_ns < stats.critical_path_before_ns, "{stats:?}");
+        assert!(stats.fmax_gain_pct() > 0.0);
+        assert_cycle_exact(&n, &ret, 32);
+        assert_eq!(ret.output_min_latencies(), n.output_min_latencies());
+    }
+
+    #[test]
+    fn forward_move_balances_logic_after_the_registers() {
+        // Registers on the inputs, two chained adds after them, then a
+        // register: a forward move pushes one input register past the
+        // first add.
+        let mut n = Netlist::new("fwd");
+        let a = n.add_input("a", 16);
+        let b = n.add_input("b", 16);
+        let c = n.add_input("c", 16);
+        let ra = n.add_node(NodeKind::Reg, vec![a], 16, "ra");
+        let rb = n.add_node(NodeKind::Reg, vec![b], 16, "rb");
+        let s1 = n.add_node(NodeKind::Add, vec![ra, rb], 16, "s1");
+        let s2 = n.add_node(NodeKind::Mul, vec![s1, c], 16, "s2");
+        n.add_output("o", s2);
+        let (ret, stats) = retime_with_stats(&n);
+        assert!(stats.forward_moves >= 1, "{stats:?}");
+        assert!(stats.critical_path_after_ns < stats.critical_path_before_ns);
+        assert_cycle_exact(&n, &ret, 32);
+        assert_eq!(ret.output_min_latencies(), n.output_min_latencies());
+    }
+
+    #[test]
+    fn not_and_eq_never_retime() {
+        // `Not(0)` and `Eq(0,0)` are non-zero at power-up, so no register
+        // may cross them: the boundary cycles would diverge.
+        let mut n = Netlist::new("notgate");
+        let a = n.add_input("a", 8);
+        let s1 = n.add_node(NodeKind::Add, vec![a, a], 8, "s1");
+        let inv = n.add_node(NodeKind::Not, vec![s1], 8, "inv");
+        let r = n.add_node(NodeKind::Reg, vec![inv], 8, "r");
+        let r2 = n.add_node(NodeKind::Reg, vec![r], 8, "r2");
+        n.add_output("o", r2);
+        let (ret, stats) = retime_with_stats(&n);
+        assert_eq!(stats.moves(), 0, "nothing may cross the Not: {stats:?}");
+        assert_cycle_exact(&n, &ret, 16);
+    }
+
+    #[test]
+    fn registers_never_cross_regen_or_cores() {
+        let mut n = Netlist::new("stateful");
+        let a = n.add_input("a", 8);
+        let en = n.add_input("en", 1);
+        let held = n.add_node(NodeKind::RegEn, vec![a, en], 8, "held");
+        let s = n.add_node(NodeKind::Add, vec![held, a], 8, "s");
+        let core = n.add_node(
+            NodeKind::PipelinedOp { op: PipeOp::Mac, latency: 2, ii: 1 },
+            vec![s, a, a],
+            8,
+            "core",
+        );
+        let r = n.add_node(NodeKind::Reg, vec![core], 8, "r");
+        n.add_output("o", r);
+        let (ret, stats) = retime_with_stats(&n);
+        // The only stage is `r`, whose driver is a core (not crossable);
+        // `held` is RegEn (not a movable stage). Nothing may move.
+        assert_eq!(stats.moves(), 0, "{stats:?}");
+        assert_cycle_exact(&n, &ret, 24);
+    }
+
+    #[test]
+    fn fanout_across_a_register_cut_blocks_the_forward_move() {
+        // `ra` feeds both the add and an output port: decrementing it
+        // would change the tap's latency, so the move is illegal.
+        let mut n = Netlist::new("tap");
+        let a = n.add_input("a", 8);
+        let b = n.add_input("b", 8);
+        let ra = n.add_node(NodeKind::Reg, vec![a], 8, "ra");
+        let rb = n.add_node(NodeKind::Reg, vec![b], 8, "rb");
+        let s = n.add_node(NodeKind::Add, vec![ra, rb], 8, "s");
+        let m = n.add_node(NodeKind::Mul, vec![s, s], 8, "m");
+        n.add_output("tap", ra);
+        n.add_output("o", m);
+        let (ret, stats) = retime_with_stats(&n);
+        assert_eq!(stats.forward_moves, 0, "{stats:?}");
+        assert_cycle_exact(&n, &ret, 24);
+        assert_eq!(ret.output_min_latencies(), n.output_min_latencies());
+    }
+
+    #[test]
+    fn feedback_loops_survive_retiming() {
+        // An accumulator: reg -> add(i) -> reg feedback, with a long
+        // combinational tail. Retiming must keep the loop intact and
+        // cycle-exact.
+        let mut n = Netlist::new("acc");
+        let i = n.add_input("i", 8);
+        let reg = n.add_node(NodeKind::Reg, vec![i], 8, "acc");
+        let next = n.add_node(NodeKind::Add, vec![reg, i], 8, "next");
+        n.set_inputs(reg, vec![next]);
+        let t1 = n.add_node(NodeKind::Mul, vec![next, i], 8, "t1");
+        let t2 = n.add_node(NodeKind::Add, vec![t1, i], 8, "t2");
+        let r2 = n.add_node(NodeKind::Reg, vec![t2], 8, "r2");
+        n.add_output("o", r2);
+        let (ret, stats) = retime_with_stats(&n);
+        assert_cycle_exact(&n, &ret, 48);
+        assert_eq!(ret.output_min_latencies(), n.output_min_latencies());
+        let _ = stats;
+    }
+
+    #[test]
+    fn retime_is_deterministic_and_idempotent_at_the_fixpoint() {
+        let n = unbalanced();
+        let (a, sa) = retime_with_stats(&n);
+        let (b, sb) = retime_with_stats(&n);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        // Retiming the fixpoint finds no further improving move.
+        let (again, stats) = retime_with_stats(&a);
+        assert_eq!(stats.moves(), 0, "{stats:?}");
+        assert_eq!(again, a);
+    }
+
+    #[test]
+    fn constant_operands_retime_only_when_powerup_agrees() {
+        // Add(x_reg, 5): at power-up the add shows 5, a register shows 0 —
+        // the move is illegal and must not fire.
+        let mut n = Netlist::new("k5");
+        let a = n.add_input("a", 8);
+        let k = n.add_const(5, 8);
+        let ra = n.add_node(NodeKind::Reg, vec![a], 8, "ra");
+        let s = n.add_node(NodeKind::Add, vec![ra, k], 8, "s");
+        let m = n.add_node(NodeKind::Mul, vec![s, s], 8, "m");
+        n.add_output("o", m);
+        let (ret, stats) = retime_with_stats(&n);
+        assert_eq!(stats.moves(), 0, "Add(_, 5) is non-zero at power-up: {stats:?}");
+        assert_cycle_exact(&n, &ret, 16);
+
+        // Add(x_reg, 0) is zero at power-up; the forward move is legal.
+        let mut z = Netlist::new("k0");
+        let a = z.add_input("a", 8);
+        let k = z.add_const(0, 8);
+        let ra = z.add_node(NodeKind::Reg, vec![a], 8, "ra");
+        let s = z.add_node(NodeKind::Add, vec![ra, k], 8, "s");
+        let m = z.add_node(NodeKind::Mul, vec![s, s], 8, "m");
+        z.add_output("o", m);
+        let (ret, stats) = retime_with_stats(&z);
+        assert!(stats.forward_moves >= 1, "{stats:?}");
+        assert_cycle_exact(&z, &ret, 24);
+    }
+}

@@ -1,0 +1,231 @@
+//! The retiming pass's cycle-exactness contract, held property-style:
+//! `retime(n) ≡ n` under `lilac-sim` on every output of every cycle, for
+//! randomized netlists drawn over the full node-kind menu — feedback loops
+//! closed through sequential nodes and `RegEn` state included — mirroring
+//! the `optimize(n) ≡ n` suite in the crate's unit tests. On top of the
+//! value equivalence, every case asserts:
+//!
+//! * **latency preservation per output** — the minimum register count from
+//!   any module input to each output ([`Netlist::output_min_latencies`])
+//!   is exactly unchanged (retiming relocates registers along paths, it
+//!   never changes any path's total);
+//! * the estimated critical path ([`lilac_synth::critical_path_ns`]) never
+//!   gets worse — the pass's accept-only-improving-moves contract;
+//! * determinism: retiming the same netlist twice yields identical
+//!   results.
+
+use lilac_ir::{Netlist, NodeId, NodeKind, PipeOp};
+use lilac_opt::{retime_with_stats, RetimeStats};
+use lilac_sim::Simulator;
+use lilac_util::rng::Rng;
+use std::collections::HashMap;
+
+/// Drives `a` and `b` with the same random stimuli and asserts every output
+/// matches on every cycle (power-up cycle 0 included).
+fn assert_cycle_exact(a: &Netlist, b: &Netlist, seed: u64, cycles: usize) {
+    let mut rng = Rng::new(seed);
+    let mut sim_a = Simulator::new(a).expect("original simulates");
+    let mut sim_b = Simulator::new(b).expect("retimed simulates");
+    let outputs = sim_a.output_names();
+    for cycle in 0..cycles {
+        let stim: HashMap<String, u64> =
+            a.inputs.iter().map(|p| (p.name.clone(), rng.next_u64())).collect();
+        sim_a.set_inputs(&stim);
+        sim_b.set_inputs(&stim);
+        for name in &outputs {
+            assert_eq!(
+                sim_a.peek(name),
+                sim_b.peek(name),
+                "output `{name}` diverged at cycle {cycle} of `{}`",
+                a.name
+            );
+        }
+        sim_a.step();
+        sim_b.step();
+    }
+}
+
+/// Draws a random valid netlist biased toward retimable shapes: register
+/// and delay stages adjacent to combinational logic, occasional feedback
+/// loops closed through sequential nodes, `RegEn` holds, pipelined cores,
+/// and `Concat`/`Slice` at stage boundaries.
+fn random_netlist(seed: u64) -> Netlist {
+    let mut rng = Rng::new(seed);
+    let mut n = Netlist::new(format!("retime_rand_{seed}"));
+    let n_inputs = 1 + rng.index(3);
+    let mut ids: Vec<NodeId> = Vec::new();
+    for i in 0..n_inputs {
+        ids.push(n.add_input(format!("i{i}"), 1 + rng.index(16) as u32));
+    }
+    let n_nodes = 6 + rng.index(30);
+    for k in 0..n_nodes {
+        // Chain bias: operands usually read the newest node, so the draw
+        // produces deep pipelines (comb chains punctuated by stages) —
+        // the shape retiming exists for — instead of shallow scatter.
+        let any = |rng: &mut Rng, ids: &[NodeId]| {
+            if rng.chance(3, 4) {
+                *ids.last().unwrap()
+            } else {
+                ids[rng.index(ids.len())]
+            }
+        };
+        let width = 1 + rng.index(16) as u32;
+        let id = match rng.index(14) {
+            0 => n.add_const(rng.next_u64(), width),
+            // Stages are drawn often so moves have something to relocate.
+            1 | 2 => {
+                let a = any(&mut rng, &ids);
+                n.add_node(NodeKind::Reg, vec![a], width, format!("n{k}"))
+            }
+            3 | 4 => {
+                let a = any(&mut rng, &ids);
+                let d = rng.index(4) as u32;
+                n.add_node(NodeKind::Delay(d), vec![a], width, format!("n{k}"))
+            }
+            5 => {
+                let (a, e) = (any(&mut rng, &ids), any(&mut rng, &ids));
+                n.add_node(NodeKind::RegEn, vec![a, e], width, format!("n{k}"))
+            }
+            6 | 7 => {
+                let (a, b) = (any(&mut rng, &ids), any(&mut rng, &ids));
+                let kind = match rng.index(6) {
+                    0 => NodeKind::Add,
+                    1 => NodeKind::Sub,
+                    2 => NodeKind::Mul,
+                    3 => NodeKind::And,
+                    4 => NodeKind::Or,
+                    _ => NodeKind::Xor,
+                };
+                n.add_node(kind, vec![a, b], width, format!("n{k}"))
+            }
+            8 => {
+                let a = any(&mut rng, &ids);
+                n.add_node(NodeKind::Not, vec![a], width, format!("n{k}"))
+            }
+            9 => {
+                let (a, b) = (any(&mut rng, &ids), any(&mut rng, &ids));
+                let kind = if rng.chance(1, 2) { NodeKind::Eq } else { NodeKind::Lt };
+                n.add_node(kind, vec![a, b], 1, format!("n{k}"))
+            }
+            10 => {
+                let (s, a, b) = (any(&mut rng, &ids), any(&mut rng, &ids), any(&mut rng, &ids));
+                n.add_node(NodeKind::Mux, vec![s, a, b], width, format!("n{k}"))
+            }
+            11 => {
+                let a = any(&mut rng, &ids);
+                let lo = rng.index(8) as u32;
+                n.add_node(NodeKind::Slice { lo }, vec![a], width, format!("n{k}"))
+            }
+            12 => {
+                let parts = 1 + rng.index(3);
+                let inputs: Vec<NodeId> = (0..parts).map(|_| any(&mut rng, &ids)).collect();
+                n.add_node(NodeKind::Concat, inputs, width, format!("n{k}"))
+            }
+            _ => {
+                let (a, b) = (any(&mut rng, &ids), any(&mut rng, &ids));
+                let op = if rng.chance(1, 2) { PipeOp::FAdd } else { PipeOp::IntMul };
+                // Latency >= 2 keeps the core's per-stage delay from
+                // capping the whole netlist's critical path (a latency-1
+                // core swallows its full datapath delay in one stage,
+                // which no register move can beat).
+                let latency = 2 + rng.index(3) as u32;
+                n.add_node(
+                    NodeKind::PipelinedOp { op, latency, ii: 1 },
+                    vec![a, b],
+                    width,
+                    format!("n{k}"),
+                )
+            }
+        };
+        ids.push(id);
+    }
+    // Occasionally close a feedback loop through a sequential node (its
+    // data operand may legally read anything, including later nodes).
+    for _ in 0..rng.index(3) {
+        let id = ids[rng.index(ids.len())];
+        if n.node(id).kind.is_sequential() && !matches!(n.node(id).kind, NodeKind::RegEn) {
+            let target = ids[rng.index(ids.len())];
+            n.set_inputs(id, vec![target]);
+        }
+    }
+    let n_outputs = 1 + rng.index(3);
+    for o in 0..n_outputs {
+        let pick = ids[ids.len() / 2 + rng.index(ids.len() - ids.len() / 2)];
+        n.add_output(format!("o{o}"), pick);
+    }
+    n
+}
+
+#[test]
+fn retimed_netlists_are_cycle_exact_on_random_designs() {
+    let mut moved = 0;
+    let mut total_moves = 0;
+    for seed in 0..150 {
+        let n = random_netlist(seed);
+        assert!(n.validate().is_ok(), "seed {seed}");
+        let latencies_before = n.output_min_latencies();
+        let cp_before = lilac_synth::critical_path_ns(&n);
+        let (ret, stats) = retime_with_stats(&n);
+        // Latency preservation, asserted per output.
+        for (before, after) in latencies_before.iter().zip(ret.output_min_latencies()) {
+            assert_eq!(*before, after, "seed {seed}: latency of output `{}` changed", before.0);
+        }
+        // The cost model may only ever get better.
+        let cp_after = lilac_synth::critical_path_ns(&ret);
+        assert!(
+            cp_after <= cp_before + 1e-9,
+            "seed {seed}: critical path grew {cp_before} -> {cp_after} ns"
+        );
+        assert!(
+            (stats.critical_path_before_ns - cp_before).abs() < 1e-9
+                && (stats.critical_path_after_ns - cp_after).abs() < 1e-9,
+            "seed {seed}: stats disagree with the model: {stats:?}"
+        );
+        if stats.moves() > 0 {
+            moved += 1;
+            total_moves += stats.moves();
+        }
+        assert_cycle_exact(&n, &ret, seed ^ 0xBEEF, 32);
+    }
+    // The generator must actually exercise the pass, not just its
+    // legality bail-outs.
+    assert!(moved >= 25, "only {moved}/150 netlists had any accepted move ({total_moves} total)");
+}
+
+#[test]
+fn retiming_is_deterministic() {
+    for seed in 0..25 {
+        let n = random_netlist(seed);
+        let (a, sa): (Netlist, RetimeStats) = retime_with_stats(&n);
+        let (b, sb) = retime_with_stats(&n);
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(sa, sb, "seed {seed}");
+    }
+}
+
+#[test]
+fn retiming_regen_feedback_designs_stays_exact() {
+    // A directed shape the random draw rarely produces: a RegEn-held
+    // accumulator feeding a long combinational tail through movable
+    // stages, plus a feedback loop.
+    let mut n = Netlist::new("regen_acc");
+    let i = n.add_input("i", 12);
+    let en = n.add_input("en", 1);
+    let held = n.add_node(NodeKind::RegEn, vec![i, en], 12, "held");
+    let sum = n.add_node(NodeKind::Add, vec![held, i], 12, "sum");
+    let r1 = n.add_node(NodeKind::Reg, vec![sum], 12, "r1");
+    let m1 = n.add_node(NodeKind::Mul, vec![r1, i], 12, "m1");
+    let m2 = n.add_node(NodeKind::Add, vec![m1, held], 12, "m2");
+    let r2 = n.add_node(NodeKind::Reg, vec![m2], 12, "r2");
+    let r3 = n.add_node(NodeKind::Reg, vec![r2], 12, "r3");
+    // Feedback: the accumulator's next value loops back through a register.
+    let fb = n.add_node(NodeKind::Reg, vec![r3], 12, "fb");
+    n.set_inputs(held, vec![fb, en]);
+    n.add_output("o", r3);
+    n.add_output("held", held);
+    let latencies = n.output_min_latencies();
+    let (ret, stats) = retime_with_stats(&n);
+    assert_cycle_exact(&n, &ret, 0xFEED, 64);
+    assert_eq!(ret.output_min_latencies(), latencies);
+    let _ = stats;
+}

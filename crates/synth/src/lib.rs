@@ -167,13 +167,56 @@ const SEQUENTIAL_OVERHEAD_NS: f64 = 0.65;
 /// Added per extra fan-out of a node (routing congestion proxy).
 const FANOUT_PENALTY_NS: f64 = 0.045;
 
-/// Estimates resources and timing for a netlist.
-pub fn estimate(netlist: &Netlist) -> ResourceEstimate {
-    let mut luts = 0u64;
-    let mut registers = 0u64;
-    let mut dsps = 0u64;
+/// The estimated critical path of a netlist in nanoseconds: the longest
+/// register-to-register (or port-to-register / register-to-port)
+/// combinational arrival time under the per-node delay table, including the
+/// fan-out routing penalty and the flip-flop clock-to-out + setup margin.
+///
+/// This is the standalone timing half of [`estimate`] — the query the
+/// register-retiming pass (`lilac-opt`) scores candidate moves with, where
+/// recomputing the area columns for every probe would be wasted work. By
+/// construction `estimate(n).critical_path_ns == critical_path_ns(n)`.
+///
+/// A netlist with a combinational cycle has no meaningful arrival times;
+/// such nodes are skipped (matching [`estimate`]'s behaviour) and the
+/// floor of 1.0 ns applies.
+pub fn critical_path_ns(netlist: &Netlist) -> f64 {
+    timing_detail(netlist).critical_path_ns
+}
 
-    // Fan-out counts.
+/// Tolerance within which a timing endpoint counts as critical (see
+/// [`TimingDetail::critical_endpoints`]).
+pub const CRITICAL_TOLERANCE_NS: f64 = 1e-6;
+
+/// [`critical_path_ns`] plus *where*: the node at which the critical
+/// arrival time is observed (the combinational endpoint, or the sequential
+/// node whose operand path or internal stage binds the clock), and how
+/// many endpoints sit at (within [`CRITICAL_TOLERANCE_NS`] of) the
+/// critical path. The endpoint count is what a timing optimizer needs as a
+/// *secondary* objective: when several parallel paths tie for critical —
+/// the blend lanes of the GBP, say — no single rewrite can shorten the
+/// maximum, but each rewrite that empties the critical set by one is
+/// progress the bare maximum cannot see.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingDetail {
+    /// Estimated critical path in nanoseconds (floor 1.0).
+    pub critical_path_ns: f64,
+    /// Node at which the critical path ends (lowest id among ties).
+    pub critical_node: Option<lilac_ir::NodeId>,
+    /// Number of path-*terminal* nodes (sequential nodes, output drivers,
+    /// and nodes nothing consumes) whose worst observed path endpoint is
+    /// within [`CRITICAL_TOLERANCE_NS`] of the critical path. Consumed
+    /// combinational nodes are excluded: their observations are dominated
+    /// by (or duplicated at) their consumers', so counting them would
+    /// report one path — through zero-delay nodes, or into a register —
+    /// as several tied endpoints.
+    pub critical_endpoints: usize,
+}
+
+/// Computes the critical path, its endpoint, and the size of the critical
+/// set; see [`critical_path_ns`] and [`TimingDetail`].
+pub fn timing_detail(netlist: &Netlist) -> TimingDetail {
+    // Fan-out counts (operand edges plus output drivers).
     let mut fanout = vec![0u64; netlist.node_count()];
     for (_, node) in netlist.iter() {
         for input in &node.inputs {
@@ -184,21 +227,13 @@ pub fn estimate(netlist: &Netlist) -> ResourceEstimate {
         fanout[id.0 as usize] += 1;
     }
 
-    for (_, node) in netlist.iter() {
-        let fanin_widths: Vec<u64> =
-            node.inputs.iter().map(|i| netlist.node(*i).width as u64).collect();
-        let (l, f, d) = area(&node.kind, node.width as u64, &fanin_widths);
-        luts += l;
-        registers += f;
-        dsps += d;
-    }
-
     // Critical path: longest combinational arrival time. Paths start at
     // sequential outputs / inputs / constants and end at sequential inputs or
-    // module outputs.
+    // module outputs. `endpoint[i]` records the worst path observation made
+    // at node `i`.
     let order = netlist.combinational_order().unwrap_or_default();
     let mut arrival = vec![0.0f64; netlist.node_count()];
-    let mut critical: f64 = 1.0;
+    let mut endpoint = vec![0.0f64; netlist.node_count()];
     for id in order {
         let node = netlist.node(id);
         let own = delay_ns(&node.kind, node.width as u64)
@@ -223,13 +258,15 @@ pub fn estimate(netlist: &Netlist) -> ResourceEstimate {
             input_arrival + own
         };
         arrival[id.0 as usize] = if node.kind.is_sequential() { 0.0 } else { t };
-        critical =
-            critical.max(t + if node.kind.is_sequential() { 0.0 } else { SEQUENTIAL_OVERHEAD_NS });
+        let observed = t + if node.kind.is_sequential() { 0.0 } else { SEQUENTIAL_OVERHEAD_NS };
+        let slot = &mut endpoint[id.0 as usize];
+        *slot = slot.max(observed);
     }
     // Paths into sequential nodes that were skipped by the combinational
     // order (their operand arrival): account for them explicitly.
-    for (_, node) in netlist.iter() {
+    for (id, node) in netlist.iter() {
         if node.kind.is_sequential() {
+            let mut worst = 0.0f64;
             for input in &node.inputs {
                 let producer = netlist.node(*input);
                 let a = if producer.kind.is_sequential() {
@@ -237,15 +274,74 @@ pub fn estimate(netlist: &Netlist) -> ResourceEstimate {
                 } else {
                     arrival[input.0 as usize]
                 };
-                critical = critical.max(a + SEQUENTIAL_OVERHEAD_NS);
+                worst = worst.max(a + SEQUENTIAL_OVERHEAD_NS);
             }
             // The sequential node's own stage delay (e.g. a pipeline stage of
             // a generated core) also bounds the clock.
             let own = delay_ns(&node.kind, node.width as u64);
-            critical = critical.max(own + SEQUENTIAL_OVERHEAD_NS);
+            worst = worst.max(own + SEQUENTIAL_OVERHEAD_NS);
+            let slot = &mut endpoint[id.0 as usize];
+            *slot = slot.max(worst);
         }
     }
 
+    // Endpoints are counted only at path-*terminal* observation sites:
+    // sequential nodes, output drivers, and nodes nothing consumes. A
+    // consumed combinational node's observation is always dominated by (or
+    // duplicated at) a consumer's — a combinational reader extends the
+    // path with non-negative delay, and a sequential reader records the
+    // same operand arrival as its own endpoint — so restricting the count
+    // changes nothing about the maximum, but it stops one physical path
+    // (through zero-delay nodes, or into a register) from being counted as
+    // several tied "endpoints", which would skew the retimer's secondary
+    // objective.
+    let mut terminal = vec![true; netlist.node_count()];
+    for (_, node) in netlist.iter() {
+        for input in &node.inputs {
+            terminal[input.0 as usize] = false;
+        }
+    }
+    for (_, id) in &netlist.outputs {
+        terminal[id.0 as usize] = true;
+    }
+    for (id, node) in netlist.iter() {
+        if node.kind.is_sequential() {
+            terminal[id.0 as usize] = true;
+        }
+    }
+
+    let mut critical: f64 = 1.0;
+    let mut critical_node = None;
+    for (i, &t) in endpoint.iter().enumerate() {
+        if terminal[i] && t > critical {
+            critical = t;
+            critical_node = Some(lilac_ir::NodeId(i as u32));
+        }
+    }
+    let critical_endpoints = endpoint
+        .iter()
+        .enumerate()
+        .filter(|&(i, &t)| terminal[i] && t >= critical - CRITICAL_TOLERANCE_NS)
+        .count();
+    TimingDetail { critical_path_ns: critical, critical_node, critical_endpoints }
+}
+
+/// Estimates resources and timing for a netlist.
+pub fn estimate(netlist: &Netlist) -> ResourceEstimate {
+    let mut luts = 0u64;
+    let mut registers = 0u64;
+    let mut dsps = 0u64;
+
+    for (_, node) in netlist.iter() {
+        let fanin_widths: Vec<u64> =
+            node.inputs.iter().map(|i| netlist.node(*i).width as u64).collect();
+        let (l, f, d) = area(&node.kind, node.width as u64, &fanin_widths);
+        luts += l;
+        registers += f;
+        dsps += d;
+    }
+
+    let critical = critical_path_ns(netlist);
     ResourceEstimate {
         luts,
         registers,

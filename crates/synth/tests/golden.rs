@@ -1,0 +1,142 @@
+//! Golden numbers for `lilac_synth::estimate` on the bundled paper
+//! designs: LUTs, registers, DSPs, and the estimated critical path are
+//! pinned exactly, so the cost model the retimer optimizes against — and
+//! the model behind every Figure 13 / Table 1 exhibit — is a *tested
+//! baseline*, not an unexercised formula. A deliberate model change must
+//! update these constants in the same commit, which is the point: fmax
+//! gains reported by `lilac-opt`'s retiming are only meaningful relative
+//! to numbers something asserts.
+//!
+//! The netlists are the same five `lilac-bench::paper_netlists` measures:
+//! the elaborated FPU (W=32) and GBP (W=8), the LA GBP system at N=4, and
+//! the hand-built LI FPU (4/2) and LI GBP (N=4) baselines.
+
+use lilac_designs::Design;
+use lilac_elab::{elaborate_module, ElabConfig};
+use lilac_li::{fpu, gbp};
+use lilac_synth::{critical_path_ns, estimate, timing_detail};
+use std::collections::BTreeMap;
+
+struct Golden {
+    name: &'static str,
+    luts: u64,
+    registers: u64,
+    dsps: u64,
+    critical_path_ns: f64,
+}
+
+fn paper_netlists() -> Vec<(Golden, lilac_ir::Netlist)> {
+    let fpu_module = elaborate_module(
+        &Design::Fpu.program().expect("fpu parses"),
+        "FPU",
+        &BTreeMap::from([("W".to_string(), 32)]),
+        &ElabConfig::default(),
+    )
+    .expect("fpu elaborates");
+    let gbp_module = elaborate_module(
+        &Design::Gbp.program().expect("gbp parses"),
+        "Gbp",
+        &BTreeMap::from([("W".to_string(), 8)]),
+        &ElabConfig::default(),
+    )
+    .expect("gbp elaborates");
+    let la_gbp = gbp::la_gbp_system(&gbp_module.netlist, 8, 4);
+    vec![
+        (
+            Golden {
+                name: "FPU (elaborated, W=32)",
+                luts: 592,
+                registers: 97,
+                dsps: 4,
+                critical_path_ns: 5.73,
+            },
+            fpu_module.netlist,
+        ),
+        (
+            Golden {
+                name: "GBP (elaborated, W=8)",
+                luts: 640,
+                registers: 1016,
+                dsps: 12,
+                critical_path_ns: 3.66,
+            },
+            gbp_module.netlist,
+        ),
+        (
+            Golden {
+                name: "LA GBP system (N=4)",
+                luts: 741,
+                registers: 1181,
+                dsps: 12,
+                critical_path_ns: 3.76,
+            },
+            la_gbp,
+        ),
+        (
+            Golden {
+                name: "LI FPU (4/2)",
+                luts: 892,
+                registers: 675,
+                dsps: 4,
+                critical_path_ns: 5.49,
+            },
+            fpu::li_fpu(32, 4, 2),
+        ),
+        (
+            Golden {
+                name: "LI GBP (N=4)",
+                luts: 1675,
+                registers: 2660,
+                dsps: 12,
+                critical_path_ns: 13.07,
+            },
+            gbp::li_gbp(8, 4),
+        ),
+    ]
+}
+
+#[test]
+fn estimate_matches_the_pinned_paper_design_numbers() {
+    for (golden, netlist) in paper_netlists() {
+        let cost = estimate(&netlist);
+        assert_eq!(cost.luts, golden.luts, "{}: LUTs moved", golden.name);
+        assert_eq!(cost.registers, golden.registers, "{}: registers moved", golden.name);
+        assert_eq!(cost.dsps, golden.dsps, "{}: DSPs moved", golden.name);
+        assert!(
+            (cost.critical_path_ns - golden.critical_path_ns).abs() < 5e-3,
+            "{}: critical path moved: pinned {} ns, estimated {} ns",
+            golden.name,
+            golden.critical_path_ns,
+            cost.critical_path_ns
+        );
+        assert!(
+            (cost.fmax_mhz - 1000.0 / cost.critical_path_ns).abs() < 1e-9,
+            "{}: fmax must be 1000/critical-path",
+            golden.name
+        );
+    }
+}
+
+#[test]
+fn critical_path_query_agrees_with_estimate() {
+    // The standalone timing query the retimer scores moves with is the
+    // same computation `estimate` reports — by construction, asserted.
+    for (golden, netlist) in paper_netlists() {
+        let cost = estimate(&netlist);
+        assert_eq!(
+            cost.critical_path_ns,
+            critical_path_ns(&netlist),
+            "{}: estimate and critical_path_ns diverged",
+            golden.name
+        );
+        let detail = timing_detail(&netlist);
+        assert_eq!(detail.critical_path_ns, cost.critical_path_ns, "{}", golden.name);
+        let endpoint = detail.critical_node.expect("non-empty netlist has an endpoint");
+        assert!(
+            (endpoint.0 as usize) < netlist.node_count(),
+            "{}: endpoint out of range",
+            golden.name
+        );
+        assert!(detail.critical_endpoints >= 1, "{}", golden.name);
+    }
+}
