@@ -1,0 +1,80 @@
+//! Soaks the fault-tolerant `CheckService` and reports request latencies.
+//!
+//! ```text
+//! cargo run --release -p lilac-bench --bin soak -- --iterations 500 --faults 1
+//! ```
+//!
+//! Flags:
+//!
+//! * `--iterations N` — check requests to push through one persistent
+//!   service (default 200)
+//! * `--seed S` — base seed for the interleaved fuzz-synthesized programs
+//!   (default 0)
+//! * `--faults SEED` — run under the seeded fault-injection schedule
+//! * `--json` — print the report as a single JSON object (the nightly CI
+//!   soak job uploads this as its artifact)
+//!
+//! Exits non-zero only on a verdict disagreement or an unrecovered unit —
+//! both panic inside [`lilac_bench::soak`].
+
+use lilac_bench::soak;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut iterations = 200u64;
+    let mut seed = 0u64;
+    let mut faults = None;
+    let mut json = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+                .and_then(|v| v.parse::<u64>().map_err(|e| format!("{name}: {e}")))
+        };
+        let parsed = match arg.as_str() {
+            "--iterations" => value("--iterations").map(|v| iterations = v),
+            "--seed" => value("--seed").map(|v| seed = v),
+            "--faults" => value("--faults").map(|v| faults = Some(v)),
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("usage: soak [--iterations N] [--seed S] [--faults SEED] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = soak(iterations, seed, faults);
+    if json {
+        println!("{}", report.to_json());
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "soak: {} iterations in {:.1?} ({} accepted, {} rejected)",
+        report.iterations, report.elapsed, report.accepted, report.rejected
+    );
+    println!(
+        "  latency: p50 {:?}  p99 {:?}  mean {:?}  max {:?}",
+        report.p50, report.p99, report.mean, report.max
+    );
+    println!(
+        "  faults:  {} injected -> {} panics caught, {} deadline expiries, {} budget exhaustions",
+        report.faults_injected,
+        report.stats.panics_caught,
+        report.stats.deadline_expiries,
+        report.stats.budget_exhaustions
+    );
+    println!(
+        "  ladder:  {} retries, {} degraded unit(s), {} failed unit(s)",
+        report.stats.retries, report.stats.degraded_units, report.stats.failed_units
+    );
+    ExitCode::SUCCESS
+}

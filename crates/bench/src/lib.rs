@@ -701,9 +701,159 @@ pub fn flopoco_latency_sweep(width: u64) -> Vec<(u32, u64, u64)> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Service soak (the fault-tolerant CheckService under sustained load)
+// ---------------------------------------------------------------------------
+
+/// One soak run of the long-lived [`CheckService`](lilac_service): request
+/// latencies, verdict mix, and fault-tolerance counters under sustained
+/// load.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Programs pushed through the service.
+    pub iterations: u64,
+    /// Programs the service accepted (all obligations proved).
+    pub accepted: u64,
+    /// Programs the service rejected with diagnostics.
+    pub rejected: u64,
+    /// Faults the seeded schedule injected (0 when run fault-free).
+    pub faults_injected: u64,
+    /// Lifetime service counters at the end of the run.
+    pub stats: lilac_service::ServiceStats,
+    /// Median per-request latency.
+    pub p50: Duration,
+    /// 99th-percentile per-request latency.
+    pub p99: Duration,
+    /// Mean per-request latency.
+    pub mean: Duration,
+    /// Worst per-request latency.
+    pub max: Duration,
+    /// Wall-clock time for the whole soak.
+    pub elapsed: Duration,
+}
+
+impl SoakReport {
+    /// The report as a single JSON object (no external dependencies; the CI
+    /// soak job uploads this as its artifact).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"iterations\":{},\"accepted\":{},\"rejected\":{},\"faults_injected\":{},\
+             \"units\":{},\"panics_caught\":{},\"deadline_expiries\":{},\
+             \"budget_exhaustions\":{},\"retries\":{},\"degraded_units\":{},\
+             \"failed_units\":{},\"cache_quarantines\":{},\
+             \"p50_us\":{},\"p99_us\":{},\"mean_us\":{},\"max_us\":{},\"elapsed_ms\":{}}}",
+            self.iterations,
+            self.accepted,
+            self.rejected,
+            self.faults_injected,
+            self.stats.units,
+            self.stats.panics_caught,
+            self.stats.deadline_expiries,
+            self.stats.budget_exhaustions,
+            self.stats.retries,
+            self.stats.degraded_units,
+            self.stats.failed_units,
+            self.stats.cache_quarantines,
+            self.p50.as_micros(),
+            self.p99.as_micros(),
+            self.mean.as_micros(),
+            self.max.as_micros(),
+            self.elapsed.as_millis(),
+        )
+    }
+}
+
+/// Soaks one persistent [`CheckService`](lilac_service::CheckService) with
+/// `iterations` check requests: the eight bundled paper designs round-robin,
+/// interleaved with fuzz-synthesized programs (seeded by `seed`, including
+/// the sabotaged sixth that must be rejected). With `faults`, the service
+/// runs under that seeded fault-injection schedule; every request's verdict
+/// is still cross-checked against the one-shot naive checker.
+///
+/// # Panics
+///
+/// Panics if the service's verdict ever disagrees with the naive checker or
+/// a unit fails outright — a soak run is also a correctness run.
+pub fn soak(iterations: u64, seed: u64, faults: Option<u64>) -> SoakReport {
+    use lilac_service::{CheckService, ServiceConfig};
+    let plan = match faults {
+        Some(s) => lilac_util::fault::FaultPlan::seeded(s),
+        None => lilac_util::fault::FaultPlan::disabled(),
+    };
+    let service = CheckService::new(ServiceConfig {
+        // Zero backoff: the soak measures service latency, not sleep time.
+        backoff: Duration::ZERO,
+        faults: plan.clone(),
+        ..ServiceConfig::default()
+    });
+    let designs = Design::all();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(iterations as usize);
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let start = Instant::now();
+    for i in 0..iterations {
+        // Even iterations replay a bundled design; odd ones a synthesized
+        // fuzz program, so the soak sees both realistic and adversarial
+        // shapes (including programs that must be *rejected*).
+        let program = if i % 2 == 0 {
+            designs[(i as usize / 2) % designs.len()].program().expect("bundled design parses")
+        } else {
+            let scenario = lilac_fuzz::scenario::generate(lilac_fuzz::case_seed(seed, i));
+            lilac_fuzz::synth::synthesize(&scenario).program
+        };
+        let outcome = service.check(&program);
+        latencies.push(outcome.elapsed);
+        match &outcome.verdict {
+            Ok(_) => accepted += 1,
+            Err(_) => rejected += 1,
+        }
+        let naive = check_program_with(&program, &CheckOptions::naive());
+        assert_eq!(
+            outcome.verdict.is_ok(),
+            naive.is_ok(),
+            "soak iteration {i}: service and naive checker disagree"
+        );
+    }
+    let elapsed = start.elapsed();
+    let stats = service.stats();
+    assert_eq!(stats.failed_units, 0, "soak: the degradation ladder must always recover");
+    latencies.sort_unstable();
+    let pick = |q: f64| {
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let mean = latencies.iter().sum::<Duration>() / (latencies.len().max(1) as u32);
+    SoakReport {
+        iterations,
+        accepted,
+        rejected,
+        faults_injected: plan.total_injected(),
+        stats,
+        p50: pick(0.50),
+        p99: pick(0.99),
+        mean,
+        max: *latencies.last().expect("at least one iteration"),
+        elapsed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn soak_is_clean_under_faults() {
+        let report = soak(12, 0, Some(1));
+        assert_eq!(report.iterations, 12);
+        assert_eq!(report.accepted + report.rejected, 12);
+        assert!(report.rejected > 0, "the sabotaged sixth must show up by iteration 12");
+        assert_eq!(report.stats.failed_units, 0);
+        assert!(report.faults_injected > 0, "the seeded schedule must fire");
+        assert!(report.p50 <= report.p99 && report.p99 <= report.max);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"failed_units\":0"));
+    }
 
     #[test]
     fn table1_shape_matches_paper() {

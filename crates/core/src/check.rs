@@ -33,9 +33,9 @@ use lilac_ast::{
 use lilac_solver::{
     FactMark, LinExpr, Model, Outcome, Pred, Solver, SolverConfig, SolverStats, Term,
 };
-use lilac_util::diag::{Diagnostic, ErrorReporter, LilacError, Result};
+use lilac_util::diag::{CheckError, Diagnostic, ErrorReporter, LilacError, Result};
 use lilac_util::intern::Symbol;
-use lilac_util::par::par_map;
+use lilac_util::par::{try_par_map, WorkerPanic};
 use lilac_util::span::Span;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -55,6 +55,11 @@ pub struct ComponentReport {
     pub elapsed: Duration,
     /// Solver effort spent on this component (queries, cache hits, cubes).
     pub solver_stats: SolverStats,
+    /// Set when the answer was produced on a degraded path — e.g. the
+    /// optimized check panicked or blew its deadline and a fallback retry
+    /// supplied the verdict. Like timing and stats, this describes *how*
+    /// the answer was reached, so [`CheckReport::equivalent`] ignores it.
+    pub degraded: Option<CheckError>,
 }
 
 impl ComponentReport {
@@ -177,11 +182,29 @@ pub fn check_program_with(program: &Program, options: &CheckOptions) -> Result<C
     let lib = CompLibrary::build(program)?;
     let modules: Vec<&Module> =
         lib.iter().filter(|m| matches!(m.kind, ModuleKind::Comp { .. })).collect();
-    let components: Vec<ComponentReport> = if options.parallel && modules.len() > 1 {
-        par_map(&modules, |module| check_component_with(&lib, module, options))
-    } else {
-        modules.iter().map(|module| check_component_with(&lib, module, options)).collect()
-    };
+    // Components run under per-item panic isolation in both modes: a checker
+    // panic (a bug, an injected fault, an exhausted budget) becomes an error
+    // diagnostic on its own component instead of tearing down the process and
+    // losing every other component's result.
+    let results: Vec<std::result::Result<ComponentReport, WorkerPanic>> =
+        if options.parallel && modules.len() > 1 {
+            try_par_map(&modules, |module| check_component_with(&lib, module, options))
+        } else {
+            modules
+                .iter()
+                .map(|module| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        check_component_with(&lib, module, options)
+                    }))
+                    .map_err(|p| WorkerPanic::from_payload(&*p))
+                })
+                .collect()
+        };
+    let components: Vec<ComponentReport> = results
+        .into_iter()
+        .zip(modules.iter())
+        .map(|(result, module)| result.unwrap_or_else(|p| panic_report(module, &p)))
+        .collect();
     let mut errors = Vec::new();
     for comp_report in &components {
         for d in &comp_report.diagnostics {
@@ -194,6 +217,24 @@ pub fn check_program_with(program: &Program, options: &CheckOptions) -> Result<C
         Ok(CheckReport { components })
     } else {
         Err(LilacError::from_diagnostics(errors))
+    }
+}
+
+/// The report for a component whose checker panicked: one error diagnostic
+/// anchored at the component's name, no obligations counted (the count up to
+/// the panic is unrecoverable and a partial count would be misleading).
+fn panic_report(module: &Module, panic: &WorkerPanic) -> ComponentReport {
+    ComponentReport {
+        name: module.name(),
+        obligations: 0,
+        proved: 0,
+        diagnostics: vec![Diagnostic::error(
+            format!("checking `{}` aborted: {}", module.name(), panic.message),
+            module.sig.name.span,
+        )],
+        elapsed: Duration::ZERO,
+        solver_stats: SolverStats::default(),
+        degraded: None,
     }
 }
 
@@ -218,6 +259,7 @@ pub fn check_component_with(
         solver_stats: checker.solver.stats(),
         diagnostics: checker.reporter.into_diagnostics(),
         elapsed: start.elapsed(),
+        degraded: None,
     }
 }
 
@@ -1778,6 +1820,32 @@ mod tests {
         assert!(report.component("Shift").is_some());
         assert!(report.component("Max").is_some());
         assert!(report.total_elapsed().as_nanos() > 0);
+    }
+
+    /// A checker panic (here: a one-query budget that exhausts immediately)
+    /// must surface as an error diagnostic on the affected component — not
+    /// tear down the process — and components are isolated from each other.
+    #[test]
+    fn exhausted_budget_becomes_a_diagnostic_not_a_process_panic() {
+        let full = format!("{STDLIB}\n");
+        let (prog, _map) = parse_program("test.lilac", &full).unwrap();
+        for parallel in [true, false] {
+            let options = CheckOptions {
+                parallel,
+                solver_config: SolverConfig {
+                    budget: Some(lilac_solver::QueryBudget::unlimited().with_max_queries(1)),
+                    ..SolverConfig::default()
+                },
+                ..CheckOptions::default()
+            };
+            let err = check_program_with(&prog, &options)
+                .expect_err("a one-query budget cannot check the stdlib");
+            let rendered = err.to_string();
+            assert!(
+                rendered.contains("aborted") && rendered.contains("budget exhausted"),
+                "parallel={parallel}: diagnostic should name the panic: {rendered}"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! *well-typed-by-construction* Lilac programs — compositions of standard
 //! library components, loops and bundles, parameterized generated
 //! sub-components, and FloPoCo generator invocations — and pushes each one
-//! through seven differential oracles (see [`oracle`]):
+//! through eight differential oracles (see [`oracle`]):
 //!
 //! 1. every checker configuration (optimized / serial / shared-cache /
 //!    naive) reaches the same verdict;
@@ -27,7 +27,14 @@
 //!    estimated critical path (`lilac-synth`), simulates bit-identically
 //!    to the raw netlist on every cycle, and its own emitted Verilog
 //!    round-trips through `lilac-vsim` to the same values (the retiming
-//!    oracle).
+//!    oracle);
+//! 8. the long-lived fault-tolerant [`CheckService`](lilac_service) —
+//!    optionally under a seeded fault-injection schedule (`faults`) and a
+//!    persistent on-disk cache (`cache_file`) — reaches exactly the naive
+//!    checker's verdict on every case, degradations and cache quarantines
+//!    notwithstanding (the robustness oracle). Because faults only shape
+//!    *how* the service reaches its answer, the run's fingerprint is
+//!    identical with and without `--faults`.
 //!
 //! A sixth of the cases carry a deliberate one-cycle timing fault and must
 //! be *rejected* — identically — by every checker configuration.
@@ -60,11 +67,25 @@ pub struct FuzzConfig {
     pub shrink: bool,
     /// Stop after this many failures.
     pub max_failures: usize,
+    /// Seed the check service's fault-injection schedule (worker panics,
+    /// forced deadline expiries, budget exhaustion, cache corruption).
+    /// `None` runs the service fault-free.
+    pub faults: Option<u64>,
+    /// Restore the service's shared cache from this file at startup and
+    /// persist it back when the run completes.
+    pub cache_file: Option<std::path::PathBuf>,
 }
 
 impl Default for FuzzConfig {
     fn default() -> Self {
-        FuzzConfig { cases: 200, seed: 0, shrink: true, max_failures: 5 }
+        FuzzConfig {
+            cases: 200,
+            seed: 0,
+            shrink: true,
+            max_failures: 5,
+            faults: None,
+            cache_file: None,
+        }
     }
 }
 
@@ -110,6 +131,17 @@ pub struct FuzzSummary {
     pub cycles: u64,
     /// Entries accumulated in the persistent cross-case solver cache.
     pub shared_cache_entries: usize,
+    /// Faults injected into the check service (0 without `faults`).
+    pub faults_injected: u64,
+    /// Units the service answered through its degradation ladder.
+    pub degraded_units: u64,
+    /// Units the service could not answer even after every retry. Any
+    /// nonzero value here on a healthy run is a bug in the ladder.
+    pub failed_units: u64,
+    /// Corrupted cache images the service quarantined and rebuilt from cold.
+    pub cache_quarantines: u64,
+    /// Entries persisted to `cache_file` at the end of the run.
+    pub cache_entries_saved: Option<usize>,
     /// Oracle disagreements (empty on a healthy run).
     pub failures: Vec<FailureReport>,
     /// Order-sensitive digest of every case outcome; bit-for-bit stable
@@ -145,7 +177,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzSummary {
 /// [`run_fuzz`] with a progress callback invoked after every case (the CLI
 /// uses it; `cargo test` does not).
 pub fn run_fuzz_with_progress(config: &FuzzConfig, mut progress: impl FnMut(u64)) -> FuzzSummary {
-    let session = Session::new();
+    let session = Session::with_service(config.faults, config.cache_file.clone());
     let mut summary = FuzzSummary::default();
     for i in 0..config.cases {
         let seed = case_seed(config.seed, i);
@@ -232,9 +264,27 @@ pub fn run_fuzz_with_progress(config: &FuzzConfig, mut progress: impl FnMut(u64)
                 }
             }
         }
+        // The recycle drill: under an enabled fault schedule, periodically
+        // force the service's cache through serialize → (maybe corrupt) →
+        // reload, so the quarantine-and-rebuild path is exercised mid-run,
+        // not just at startup. Verdicts must be unaffected — the next case's
+        // oracle 8 comparison checks exactly that.
+        if session.faults().is_enabled() {
+            if let Some(service) = session.service() {
+                let _ = service.recycle_cache();
+            }
+        }
         progress(i + 1);
     }
     summary.shared_cache_entries = session.shared_cache_entries();
+    summary.faults_injected = session.faults().total_injected();
+    if let Some(service) = session.service() {
+        let stats = service.stats();
+        summary.degraded_units = stats.degraded_units;
+        summary.failed_units = stats.failed_units;
+        summary.cache_quarantines = stats.cache_quarantines;
+        summary.cache_entries_saved = service.save_cache().ok().flatten();
+    }
     summary
 }
 
@@ -254,6 +304,26 @@ mod tests {
         let b = run_fuzz(&config);
         assert_eq!(a.fingerprint, b.fingerprint, "same seed must be bit-for-bit deterministic");
         assert_eq!(a.cases, b.cases);
+    }
+
+    #[test]
+    fn fuzz_with_faults_is_clean() {
+        let plain = run_fuzz(&FuzzConfig { cases: 60, seed: 0, ..FuzzConfig::default() });
+        let faulty =
+            run_fuzz(&FuzzConfig { cases: 60, seed: 0, faults: Some(1), ..FuzzConfig::default() });
+        assert!(
+            faulty.failures.is_empty(),
+            "fault injection flipped a verdict: {:#?}",
+            faulty.failures
+        );
+        assert!(faulty.faults_injected > 0, "the seeded schedule must actually fire");
+        assert!(faulty.degraded_units > 0, "some units must walk the degradation ladder");
+        assert_eq!(faulty.failed_units, 0, "the ladder must always recover");
+        assert_eq!(
+            faulty.fingerprint, plain.fingerprint,
+            "faults shape how answers are reached, never the answers: \
+             the fingerprint must match the fault-free run bit-for-bit"
+        );
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   `--emit-retime-corpus` (default 20 / 6)
 //! * `--replay CASE_SEED` — re-run one scenario by the derived case seed a
 //!   failure report prints, echoing the program and verdict
+//! * `--faults SEED` — run the check-service oracle under the seeded
+//!   fault-injection schedule (worker panics, deadline expiries, budget
+//!   exhaustion, cache corruption). Verdicts — and therefore the
+//!   fingerprint — must not change; service/fault statistics go to stderr
+//! * `--cache-file PATH` — restore the service's solver cache from `PATH`
+//!   at startup (quarantining it if corrupt) and persist it back at the end
 
 use lilac_fuzz::{run_fuzz_with_progress, FuzzConfig};
 use std::io::Write;
@@ -67,6 +73,11 @@ fn parse_args() -> Result<Args, String> {
                 args.replay =
                     Some(value("--replay")?.parse().map_err(|e| format!("--replay: {e}"))?)
             }
+            "--faults" => {
+                args.config.faults =
+                    Some(value("--faults")?.parse().map_err(|e| format!("--faults: {e}"))?)
+            }
+            "--cache-file" => args.config.cache_file = Some(PathBuf::from(value("--cache-file")?)),
             "--failures" => args.failures_dir = Some(PathBuf::from(value("--failures")?)),
             "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus")?)),
             "--emit-retime-corpus" => {
@@ -80,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: lilac-fuzz [--cases N] [--seed S] [--no-shrink] [--max-failures N]\n\
+                     \x20                 [--faults SEED] [--cache-file PATH]\n\
                      \x20                 [--failures DIR] [--emit-corpus DIR]\n\
                      \x20                 [--emit-retime-corpus DIR] [--corpus-count N]\n\
                      \x20                 [--replay CASE_SEED]"
@@ -186,6 +198,22 @@ fn main() -> ExitCode {
         summary.obligations, summary.queries, summary.cycles, summary.shared_cache_entries
     );
     println!("  fingerprint: {:016x}", summary.fingerprint);
+    // Service and fault statistics describe *how* verdicts were reached,
+    // so they go to stderr: stdout must stay byte-identical between a
+    // plain run and a `--faults` run of the same seed.
+    if args.config.faults.is_some() || args.config.cache_file.is_some() {
+        eprintln!(
+            "service: {} fault(s) injected, {} degraded unit(s), {} failed unit(s), {} cache quarantine(s){}",
+            summary.faults_injected,
+            summary.degraded_units,
+            summary.failed_units,
+            summary.cache_quarantines,
+            match summary.cache_entries_saved {
+                Some(n) => format!(", {n} cache entries saved"),
+                None => String::new(),
+            }
+        );
+    }
 
     if let Some(dir) = &args.failures_dir {
         if !summary.failures.is_empty() {

@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! Every generated case is pushed through seven independent cross-checks:
+//! Every generated case is pushed through eight independent cross-checks:
 //!
 //! 1. **Checker A/B** — the optimized obligation-discharge pipeline
 //!    (slicing + caching + indexed scopes), the serial variant, a variant
@@ -43,15 +43,25 @@
 //!    round-trip through `lilac-vsim` to the same values. This is the
 //!    oracle that pins the first pass that rewrites *where state lives*
 //!    rather than collapsing it.
+//! 8. **Fault-tolerant service** — the long-lived [`CheckService`] (its own
+//!    worker pool, persistent on-disk cache, deadline budgets, and — when
+//!    the fuzzer is run with `--faults` — a seeded [`FaultPlan`] injecting
+//!    worker panics, forced deadline expiries, and budget exhaustion) must
+//!    reach exactly the naive checker's verdict on every case. Degradation
+//!    is allowed; a flipped verdict is a failed isolation or fallback.
 
 use crate::scenario::{eval_gen, eval_steps, Scenario};
 use crate::synth::{Latency, Synthesized};
 use lilac_core::{check_program_with, CheckOptions, CheckReport};
 use lilac_elab::{elaborate_module, ElabConfig};
+use lilac_service::{CheckService, ServiceConfig};
 use lilac_sim::Simulator;
 use lilac_solver::SharedCache;
 use lilac_util::diag::LilacError;
+use lilac_util::fault::FaultPlan;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// A single oracle disagreement (the fuzzer's unit of failure).
 #[derive(Clone, Debug)]
@@ -85,27 +95,66 @@ pub struct CaseStats {
 
 /// Session state shared across cases: the persistent cross-program solver
 /// cache (itself under test — a stale or colliding entry would make the
-/// warm configuration diverge from the cold one).
+/// warm configuration diverge from the cold one) and the long-lived
+/// [`CheckService`] behind the eighth oracle, with its own persistent
+/// cache, worker pool, and (optionally) seeded fault plan.
 #[derive(Default)]
 pub struct Session {
     shared: Option<SharedCache>,
+    service: Option<CheckService>,
+    faults: FaultPlan,
 }
 
 impl Session {
-    /// A session with a persistent shared solver cache.
+    /// A session with a persistent shared solver cache and a fault-free
+    /// check service.
     pub fn new() -> Session {
-        Session { shared: Some(SharedCache::new()) }
+        Session::with_service(None, None)
     }
 
-    /// A session without the cross-case cache (used while shrinking, so a
-    /// candidate's verdict never depends on earlier probes).
+    /// A session whose service runs under a seeded [`FaultPlan`]
+    /// (`faults`) and/or restores+persists its cache at `cache_file`.
+    pub fn with_service(faults: Option<u64>, cache_file: Option<PathBuf>) -> Session {
+        let plan = match faults {
+            Some(seed) => FaultPlan::seeded(seed),
+            None => FaultPlan::disabled(),
+        };
+        let config = ServiceConfig {
+            workers: 2,
+            // Thousands of cases with ~1/8 fault density: sleeping between
+            // ladder attempts would dominate the run for no extra coverage.
+            backoff: Duration::ZERO,
+            faults: plan.clone(),
+            cache_path: cache_file,
+            ..ServiceConfig::default()
+        };
+        Session {
+            shared: Some(SharedCache::new()),
+            service: Some(CheckService::new(config)),
+            faults: plan,
+        }
+    }
+
+    /// A session without the cross-case cache or service (used by corpus
+    /// replays, so a regression's verdict never depends on other cases or
+    /// on service-internal fault sites).
     pub fn without_shared_cache() -> Session {
-        Session { shared: None }
+        Session { shared: None, service: None, faults: FaultPlan::disabled() }
     }
 
     /// Number of entries accumulated in the shared cache.
     pub fn shared_cache_entries(&self) -> usize {
         self.shared.as_ref().map(SharedCache::len).unwrap_or(0)
+    }
+
+    /// The session's check service, when one is running.
+    pub fn service(&self) -> Option<&CheckService> {
+        self.service.as_ref()
+    }
+
+    /// The fault plan the service runs under (disabled unless seeded).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 }
 
@@ -184,6 +233,30 @@ fn checker_ab(
                     "optimized and {name} checkers disagree: {} vs {}",
                     describe_check(&fast),
                     describe_check(other)
+                ),
+            ));
+        }
+    }
+    // Oracle 8: the fault-tolerant service. Whatever its seeded fault plan
+    // injects — worker panics, forced deadline expiries, budget exhaustion —
+    // the degradation ladder must land on exactly the naive checker's
+    // verdict: faults are armed only on the optimized first attempt, so a
+    // flipped verdict means isolation or fallback is broken.
+    if let Some(service) = session.service() {
+        let outcome = service.check(&synth.program);
+        let agree = match (&outcome.verdict, &naive) {
+            (Ok(a), Ok(b)) => a.equivalent(b),
+            (Err(a), Err(b)) => errors_agree(a, b),
+            _ => false,
+        };
+        if !agree {
+            return Err(Failure::new(
+                "service",
+                format!(
+                    "service and naive checkers disagree: {} vs {} ({} degradation(s))",
+                    describe_check(&outcome.verdict),
+                    describe_check(&naive),
+                    outcome.degradations.len()
                 ),
             ));
         }

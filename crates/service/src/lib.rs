@@ -1,0 +1,680 @@
+//! A fault-tolerant, long-lived checking service.
+//!
+//! [`lilac_core::check_program`] is a one-shot function: it spawns scoped
+//! threads, checks every component, and tears everything down. That is the
+//! wrong shape for the interactive workloads the paper cares about
+//! (edit–recheck loops in an IDE-like session), where the checker is a
+//! *service*: it stays up across thousands of requests, keeps its solver
+//! cache warm, and above all must not let one pathological program take the
+//! process — or any other request — down with it.
+//!
+//! [`CheckService`] provides that shape:
+//!
+//! * **Persistent workers** — component checks run on a work-stealing
+//!   [`pool::WorkerPool`] that outlives any single request.
+//! * **Panic isolation** — every check unit runs under `catch_unwind`; a
+//!   checker bug (or an injected fault) is contained to its component.
+//! * **Deadlines with graceful degradation** — each unit gets a
+//!   [`QueryBudget`] deadline. On timeout or panic the service walks a
+//!   degradation ladder: retry on the naive solver path (slicing and caching
+//!   disabled, no budget, capped exponential backoff between attempts), and
+//!   only if that also fails mark the component failed with a structured
+//!   [`CheckError`]. The process never aborts.
+//! * **Crash-safe cache persistence** — the shared solver cache can be
+//!   saved to and restored from disk; corrupt images are quarantined and the
+//!   cache rebuilds cold (see [`lilac_solver::persist`]).
+//! * **Deterministic fault injection** — a seeded [`FaultPlan`] can force
+//!   worker panics, deadline expiries, budget exhaustion, and cache
+//!   corruption at deterministic sites, which is how the fuzzer's eighth
+//!   differential oracle validates that *no fault schedule changes a
+//!   verdict*: faults are only ever armed on the optimized first attempt,
+//!   so the naive fallback always supplies the same answer the naive
+//!   checker would.
+
+pub mod pool;
+
+use lilac_ast::{ModuleKind, Program};
+use lilac_core::{check_component_with, CheckOptions, CheckReport, CompLibrary, ComponentReport};
+use lilac_solver::persist::CacheLoadStatus;
+use lilac_solver::{QueryBudget, SharedCache, SolverConfig};
+use lilac_util::diag::{CheckError, CheckErrorKind, DiagnosticKind, LilacError, Severity};
+use lilac_util::fault::{BudgetExhausted, BudgetKind, FaultKind, FaultPlan, InjectedPanic};
+use lilac_util::intern::Symbol;
+use lilac_util::par::WorkerPanic;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pool::WorkerPool;
+
+/// Configuration for a [`CheckService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the persistent pool.
+    pub workers: usize,
+    /// Deadline budget per check unit on the optimized first attempt
+    /// (`None` disables deadlines).
+    pub deadline: Option<Duration>,
+    /// Fallback retries after a failed first attempt.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Solver configuration for the optimized first attempt. The service
+    /// installs its own shared cache and budget on top of this.
+    pub solver_config: SolverConfig,
+    /// When set, the shared cache is restored from this path at startup
+    /// (quarantining a corrupt image) and [`CheckService::save_cache`]
+    /// writes back to it.
+    pub cache_path: Option<PathBuf>,
+    /// Deterministic fault injection plan (disabled by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            deadline: Some(Duration::from_secs(30)),
+            retries: 2,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(160),
+            solver_config: SolverConfig::default(),
+            cache_path: None,
+            faults: FaultPlan::disabled(),
+        }
+    }
+}
+
+/// Monotonic counters describing a service's lifetime, snapshot with
+/// [`CheckService::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Programs submitted through [`CheckService::check`].
+    pub programs: u64,
+    /// Check units (one component each) executed, counting retries once.
+    pub units: u64,
+    /// First-attempt panics caught (including injected ones).
+    pub panics_caught: u64,
+    /// First-attempt deadline expiries.
+    pub deadline_expiries: u64,
+    /// First-attempt query-budget exhaustions.
+    pub budget_exhaustions: u64,
+    /// Fallback retry attempts executed.
+    pub retries: u64,
+    /// Units whose verdict came from a degraded (fallback) attempt.
+    pub degraded_units: u64,
+    /// Units where even the fallback ladder failed.
+    pub failed_units: u64,
+    /// Cache images recycled (serialize → reload) successfully.
+    pub cache_reloads: u64,
+    /// Cache images rejected and rebuilt cold.
+    pub cache_quarantines: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    programs: AtomicU64,
+    units: AtomicU64,
+    panics_caught: AtomicU64,
+    deadline_expiries: AtomicU64,
+    budget_exhaustions: AtomicU64,
+    retries: AtomicU64,
+    degraded_units: AtomicU64,
+    failed_units: AtomicU64,
+    cache_reloads: AtomicU64,
+    cache_quarantines: AtomicU64,
+}
+
+/// Result of one [`CheckService::check`] request.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// The verdict, shaped exactly like [`lilac_core::check_program_with`]'s:
+    /// `Ok` with the per-component reports, or `Err` carrying every error
+    /// diagnostic.
+    pub verdict: Result<CheckReport, LilacError>,
+    /// Degradation events encountered while producing the verdict (empty on
+    /// the happy path).
+    pub degradations: Vec<CheckError>,
+    /// Wall-clock time for the whole request.
+    pub elapsed: Duration,
+}
+
+impl ServiceOutcome {
+    /// True if the program checked without errors.
+    pub fn is_ok(&self) -> bool {
+        matches!(&self.verdict, Ok(report) if report.is_ok())
+    }
+}
+
+/// Result of one [`CheckService::recycle_cache`] drill.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheRecycle {
+    /// The corruption the fault plan applied to the image, if any.
+    pub corrupted: Option<&'static str>,
+    /// `Ok(entries)` if the image validated and replaced the live cache;
+    /// the load error if it was rejected and the cache was rebuilt cold.
+    pub outcome: Result<usize, lilac_solver::persist::CacheLoadError>,
+}
+
+/// A long-lived, fault-tolerant checker for a stream of programs.
+///
+/// See the [module docs](self) for the design; see
+/// `lilac-fuzz`'s `service` oracle for the property it guarantees: under any
+/// seeded fault schedule, every verdict equals the naive checker's.
+pub struct CheckService {
+    config: ServiceConfig,
+    pool: WorkerPool,
+    /// The live shared cache. Behind a mutex (not just the cache's internal
+    /// one) so [`CheckService::recycle_cache`] can atomically swap in a
+    /// reloaded or cold instance.
+    shared: Mutex<SharedCache>,
+    /// What startup found at `cache_path` (None when no path configured).
+    cache_status: Option<CacheLoadStatus>,
+    /// Global fault-site counter: every unit and every cache recycle gets a
+    /// distinct site, so a seeded [`FaultPlan`] addresses them
+    /// deterministically as long as requests are submitted in a
+    /// deterministic order.
+    site_counter: AtomicU64,
+    counters: Arc<Counters>,
+}
+
+impl CheckService {
+    /// Starts a service: spawns the worker pool and, when
+    /// [`ServiceConfig::cache_path`] is set, restores the shared cache from
+    /// disk — quarantining a corrupt image rather than failing.
+    pub fn new(config: ServiceConfig) -> CheckService {
+        install_quiet_panic_hook();
+        let counters = Arc::new(Counters::default());
+        let (shared, cache_status) = match &config.cache_path {
+            Some(path) => {
+                let (cache, status) = SharedCache::load_or_quarantine(path);
+                match &status {
+                    CacheLoadStatus::Loaded { .. } => {
+                        counters.cache_reloads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    CacheLoadStatus::Quarantined { .. } => {
+                        counters.cache_quarantines.fetch_add(1, Ordering::Relaxed);
+                    }
+                    CacheLoadStatus::Missing => {}
+                }
+                (cache, Some(status))
+            }
+            None => (SharedCache::new(), None),
+        };
+        CheckService {
+            pool: WorkerPool::new(config.workers),
+            shared: Mutex::new(shared),
+            cache_status,
+            site_counter: AtomicU64::new(0),
+            counters,
+            config,
+        }
+    }
+
+    /// What startup found at the configured cache path, if any.
+    pub fn cache_status(&self) -> Option<&CacheLoadStatus> {
+        self.cache_status.as_ref()
+    }
+
+    /// Entries currently in the live shared cache.
+    pub fn cache_entries(&self) -> usize {
+        self.shared.lock().expect("cache handle poisoned").len()
+    }
+
+    /// Snapshot of the service's lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            programs: c.programs.load(Ordering::Relaxed),
+            units: c.units.load(Ordering::Relaxed),
+            panics_caught: c.panics_caught.load(Ordering::Relaxed),
+            deadline_expiries: c.deadline_expiries.load(Ordering::Relaxed),
+            budget_exhaustions: c.budget_exhaustions.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            degraded_units: c.degraded_units.load(Ordering::Relaxed),
+            failed_units: c.failed_units.load(Ordering::Relaxed),
+            cache_reloads: c.cache_reloads.load(Ordering::Relaxed),
+            cache_quarantines: c.cache_quarantines.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Checks one program on the persistent pool.
+    ///
+    /// Program-level validation (duplicate components, unknown references
+    /// caught by [`CompLibrary::build`]) happens inline; each component then
+    /// becomes one pool unit run through the degradation ladder. The
+    /// verdict has the same shape and contents as
+    /// [`lilac_core::check_program_with`] — fault tolerance changes *how*
+    /// the answer is computed, never the answer.
+    pub fn check(&self, program: &Program) -> ServiceOutcome {
+        let start = Instant::now();
+        self.counters.programs.fetch_add(1, Ordering::Relaxed);
+        // Validate the program shape once, inline: library errors are not a
+        // component's fault and take no ladder.
+        let names: Vec<Symbol> = match CompLibrary::build(program) {
+            Ok(lib) => lib
+                .iter()
+                .filter(|m| matches!(m.kind, ModuleKind::Comp { .. }))
+                .map(|m| m.name())
+                .collect(),
+            Err(e) => {
+                return ServiceOutcome {
+                    verdict: Err(e),
+                    degradations: Vec::new(),
+                    elapsed: start.elapsed(),
+                }
+            }
+        };
+        let program = Arc::new(program.clone());
+        let cache = self.shared.lock().expect("cache handle poisoned").clone();
+        let (tx, rx) = mpsc::channel::<(usize, ComponentReport, Vec<CheckError>)>();
+        for (index, &name) in names.iter().enumerate() {
+            // Sites are assigned at submission time on the calling thread,
+            // so a deterministic request stream addresses deterministic
+            // sites regardless of worker scheduling.
+            let site = self.site_counter.fetch_add(1, Ordering::Relaxed);
+            let unit = UnitContext {
+                program: Arc::clone(&program),
+                component: name,
+                config: self.config.clone(),
+                cache: cache.clone(),
+                counters: Arc::clone(&self.counters),
+                site,
+            };
+            let tx = tx.clone();
+            self.pool.submit(Box::new(move || {
+                let (report, degradations) = run_unit(&unit);
+                // The receiver only disappears if the requester's thread
+                // panicked; dropping the result is then correct.
+                let _ = tx.send((index, report, degradations));
+            }));
+        }
+        drop(tx);
+        let mut slots: Vec<Option<(ComponentReport, Vec<CheckError>)>> =
+            names.iter().map(|_| None).collect();
+        for (index, report, degradations) in rx {
+            slots[index] = Some((report, degradations));
+        }
+        let mut components = Vec::with_capacity(slots.len());
+        let mut degradations = Vec::new();
+        for slot in slots {
+            let (report, errs) = slot.expect("every unit reports exactly once");
+            degradations.extend(errs);
+            components.push(report);
+        }
+        let errors: Vec<_> = components
+            .iter()
+            .flat_map(|c| c.diagnostics.iter())
+            .filter(|d| d.kind == DiagnosticKind::Error)
+            .cloned()
+            .collect();
+        let verdict = if errors.is_empty() {
+            Ok(CheckReport { components })
+        } else {
+            Err(LilacError::from_diagnostics(errors))
+        };
+        ServiceOutcome { verdict, degradations, elapsed: start.elapsed() }
+    }
+
+    /// Crash-recovery drill: serialize the live cache, optionally let the
+    /// fault plan corrupt the image, and reload it. A valid image replaces
+    /// the live cache (a no-op in content); a rejected image rebuilds the
+    /// cache cold. Exercises exactly the code path a service restart takes
+    /// through [`SharedCache::load_or_quarantine`].
+    pub fn recycle_cache(&self) -> CacheRecycle {
+        let site = self.site_counter.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.shared.lock().expect("cache handle poisoned");
+        let mut image = guard.to_bytes();
+        let corrupted = self.config.faults.corrupt_bytes(&mut image, site);
+        match SharedCache::from_bytes(&image) {
+            Ok(reloaded) => {
+                let entries = reloaded.len();
+                *guard = reloaded;
+                self.counters.cache_reloads.fetch_add(1, Ordering::Relaxed);
+                CacheRecycle { corrupted, outcome: Ok(entries) }
+            }
+            Err(error) => {
+                *guard = SharedCache::new();
+                self.counters.cache_quarantines.fetch_add(1, Ordering::Relaxed);
+                CacheRecycle { corrupted, outcome: Err(error) }
+            }
+        }
+    }
+
+    /// Saves the live cache to [`ServiceConfig::cache_path`]. Returns the
+    /// number of entries written, or `None` when no path is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_cache(&self) -> std::io::Result<Option<usize>> {
+        let Some(path) = &self.config.cache_path else {
+            return Ok(None);
+        };
+        let cache = self.shared.lock().expect("cache handle poisoned").clone();
+        cache.save(path).map(Some)
+    }
+}
+
+/// Everything one pool unit needs, moved into its job closure.
+struct UnitContext {
+    program: Arc<Program>,
+    component: Symbol,
+    config: ServiceConfig,
+    cache: SharedCache,
+    counters: Arc<Counters>,
+    site: u64,
+}
+
+/// Runs one component through the degradation ladder. Returns the report
+/// plus every degradation event encountered on the way.
+fn run_unit(unit: &UnitContext) -> (ComponentReport, Vec<CheckError>) {
+    unit.counters.units.fetch_add(1, Ordering::Relaxed);
+    let mut degradations: Vec<CheckError> = Vec::new();
+
+    // Attempt 0: the optimized path — shared cache, deadline budget, faults
+    // armed.
+    let mut solver_config = unit.config.solver_config.clone();
+    solver_config.shared_cache = Some(unit.cache.clone());
+    let mut budget = match unit.config.deadline {
+        Some(deadline) => QueryBudget::unlimited().expiring_in(deadline),
+        None => QueryBudget::unlimited(),
+    };
+    if unit.config.faults.should(FaultKind::DeadlineExpiry, unit.site) {
+        budget = budget.already_expired();
+    }
+    if unit.config.faults.should(FaultKind::BudgetExhaustion, unit.site) {
+        budget = budget.with_max_queries(1);
+    }
+    solver_config.budget = Some(budget);
+    let optimized = CheckOptions { parallel: false, solver_config, ..CheckOptions::default() };
+    let inject_panic = unit.config.faults.should(FaultKind::WorkerPanic, unit.site);
+    match attempt(unit, &optimized, inject_panic) {
+        Ok(report) => return (report, degradations),
+        Err(error) => {
+            record_first_failure(&unit.counters, &error);
+            degradations.push(error);
+        }
+    }
+
+    // Fallback ladder: the naive path (no slicing, no cache, no budget —
+    // and no faults), with capped exponential backoff between attempts.
+    let mut backoff = unit.config.backoff;
+    for retry in 1..=unit.config.retries {
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff.min(unit.config.backoff_cap));
+        }
+        backoff = (backoff * 2).min(unit.config.backoff_cap);
+        unit.counters.retries.fetch_add(1, Ordering::Relaxed);
+        match attempt(unit, &CheckOptions::naive(), false) {
+            Ok(mut report) => {
+                unit.counters.degraded_units.fetch_add(1, Ordering::Relaxed);
+                let cause = degradations.last().expect("a failure preceded this retry");
+                let marker = CheckError::new(
+                    CheckErrorKind::Degraded,
+                    Severity::Recoverable,
+                    format!("verdict supplied by naive fallback after: {}", cause.detail),
+                )
+                .for_component(unit.component.as_str())
+                .at_attempt(retry);
+                degradations.push(marker.clone());
+                report.degraded = Some(marker);
+                return (report, degradations);
+            }
+            Err(error) => degradations.push(error.at_attempt(retry)),
+        }
+    }
+
+    // Ladder exhausted: a fatal, structured failure — still no process
+    // abort, still isolated to this component.
+    unit.counters.failed_units.fetch_add(1, Ordering::Relaxed);
+    let fatal = CheckError::new(
+        CheckErrorKind::Degraded,
+        Severity::Fatal,
+        format!(
+            "component check failed after {} attempt(s): {}",
+            unit.config.retries + 1,
+            degradations.last().map(|e| e.detail.as_str()).unwrap_or("unknown failure")
+        ),
+    )
+    .for_component(unit.component.as_str())
+    .at_attempt(unit.config.retries);
+    degradations.push(fatal.clone());
+    let report = ComponentReport {
+        name: unit.component,
+        obligations: 0,
+        proved: 0,
+        diagnostics: vec![fatal.to_diagnostic()],
+        elapsed: Duration::ZERO,
+        solver_stats: Default::default(),
+        degraded: Some(fatal),
+    };
+    (report, degradations)
+}
+
+thread_local! {
+    /// True while this thread is inside a ladder rung, where panics are
+    /// expected control flow (budget sentinels, injected faults) rather
+    /// than bugs.
+    static PANIC_QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs — once per process — a panic hook that stays silent for panics
+/// raised inside a ladder rung and forwards everything else to the
+/// previously installed hook. Without this, every budget expiry and
+/// injected fault would spray a "thread panicked" report (and, under
+/// `RUST_BACKTRACE`, a full backtrace) onto stderr, drowning real
+/// diagnostics in a fuzzing or soak run. Nothing is lost for genuine bugs:
+/// the payload is captured by `catch_unwind` and surfaced as a structured
+/// [`CheckError`] either way.
+fn install_quiet_panic_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !PANIC_QUIET.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// One ladder rung: checks the unit's component under `options` inside
+/// `catch_unwind`, classifying any panic into a structured [`CheckError`].
+fn attempt(
+    unit: &UnitContext,
+    options: &CheckOptions,
+    inject_panic: bool,
+) -> Result<ComponentReport, CheckError> {
+    PANIC_QUIET.with(|quiet| quiet.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            std::panic::panic_any(InjectedPanic { site: unit.site });
+        }
+        let lib = CompLibrary::build(&unit.program).expect("validated by the caller");
+        let module = lib
+            .iter()
+            .find(|m| m.name() == unit.component)
+            .expect("component enumerated by the caller");
+        check_component_with(&lib, module, options)
+    }));
+    PANIC_QUIET.with(|quiet| quiet.set(false));
+    result.map_err(|payload| classify(&*payload, unit.component))
+}
+
+/// Maps a panic payload to the structured error taxonomy.
+fn classify(payload: &(dyn std::any::Any + Send), component: Symbol) -> CheckError {
+    let error = if let Some(b) = payload.downcast_ref::<BudgetExhausted>() {
+        match b.kind {
+            BudgetKind::Deadline => CheckError::new(
+                CheckErrorKind::DeadlineExpired,
+                Severity::Transient,
+                b.detail.clone(),
+            ),
+            BudgetKind::Queries => CheckError::new(
+                CheckErrorKind::BudgetExhausted,
+                Severity::Transient,
+                b.detail.clone(),
+            ),
+        }
+    } else if let Some(p) = payload.downcast_ref::<InjectedPanic>() {
+        CheckError::new(
+            CheckErrorKind::WorkerPanic,
+            Severity::Transient,
+            format!("injected panic (site {})", p.site),
+        )
+    } else {
+        CheckError::new(
+            CheckErrorKind::WorkerPanic,
+            Severity::Transient,
+            WorkerPanic::from_payload(payload).message,
+        )
+    };
+    error.for_component(component.as_str())
+}
+
+fn record_first_failure(counters: &Counters, error: &CheckError) {
+    match error.kind {
+        CheckErrorKind::DeadlineExpired => {
+            counters.deadline_expiries.fetch_add(1, Ordering::Relaxed);
+        }
+        CheckErrorKind::BudgetExhausted => {
+            counters.budget_exhaustions.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lilac_core::check_program_with;
+    use lilac_designs::Design;
+
+    fn quiet_config(workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            // No backoff in tests: the ladder's sleep is irrelevant to the
+            // properties under test.
+            backoff: Duration::ZERO,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn service_matches_oneshot_checker_on_bundled_designs() {
+        let service = CheckService::new(quiet_config(2));
+        for design in Design::all() {
+            let program = design.program().expect("bundled design parses");
+            let outcome = service.check(&program);
+            let oneshot = check_program_with(&program, &CheckOptions::default());
+            match (&outcome.verdict, &oneshot) {
+                (Ok(a), Ok(b)) => {
+                    assert!(a.equivalent(b), "{design:?}: service and one-shot reports differ")
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "{design:?}: service said {} but one-shot said {}",
+                    if a.is_ok() { "ok" } else { "err" },
+                    if b.is_ok() { "ok" } else { "err" },
+                ),
+            }
+            assert!(outcome.degradations.is_empty(), "no faults armed, no degradations");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.programs, Design::all().len() as u64);
+        assert!(stats.units > 0);
+        assert_eq!(stats.failed_units, 0);
+    }
+
+    #[test]
+    fn warm_cache_accumulates_across_requests() {
+        let service = CheckService::new(quiet_config(1));
+        let program = Design::Fpu.program().expect("FPU parses");
+        service.check(&program);
+        let after_first = service.cache_entries();
+        assert!(after_first > 0, "checking must populate the shared cache");
+        service.check(&program);
+        assert!(service.cache_entries() >= after_first);
+    }
+
+    #[test]
+    fn injected_faults_degrade_but_never_change_the_verdict() {
+        let program = Design::Fpu.program().expect("FPU parses");
+        let baseline =
+            check_program_with(&program, &CheckOptions::naive()).expect("FPU checks clean");
+        let mut saw_degradation = false;
+        for seed in 0..6u64 {
+            let config = ServiceConfig { faults: FaultPlan::seeded(seed), ..quiet_config(2) };
+            let service = CheckService::new(config);
+            for _ in 0..3 {
+                let outcome = service.check(&program);
+                let report = outcome.verdict.as_ref().expect("verdict must stay ok");
+                assert!(
+                    report.equivalent(&baseline),
+                    "seed {seed}: a fault schedule changed the verdict"
+                );
+                saw_degradation |= !outcome.degradations.is_empty();
+            }
+            let stats = service.stats();
+            assert_eq!(stats.failed_units, 0, "naive fallback must always recover");
+        }
+        assert!(saw_degradation, "across 6 seeds at ~1/8 density some fault must fire");
+    }
+
+    #[test]
+    fn deterministic_fault_schedule_is_replayable() {
+        let program = Design::Divider.program().expect("Divider parses");
+        let run = |seed: u64| {
+            let service = CheckService::new(ServiceConfig {
+                faults: FaultPlan::seeded(seed),
+                workers: 1,
+                backoff: Duration::ZERO,
+                ..ServiceConfig::default()
+            });
+            let outcome = service.check(&program);
+            let kinds: Vec<String> =
+                outcome.degradations.iter().map(|d| d.kind.name().to_string()).collect();
+            (kinds, service.stats())
+        };
+        let (kinds_a, stats_a) = run(3);
+        let (kinds_b, stats_b) = run(3);
+        assert_eq!(kinds_a, kinds_b, "same seed must replay the same fault schedule");
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn recycle_cache_is_a_no_op_without_faults() {
+        let service = CheckService::new(quiet_config(1));
+        let program = Design::Gbp.program().expect("GBP parses");
+        service.check(&program);
+        let before = service.cache_entries();
+        let recycle = service.recycle_cache();
+        assert_eq!(recycle.corrupted, None);
+        assert_eq!(recycle.outcome, Ok(before));
+        assert_eq!(service.cache_entries(), before);
+    }
+
+    #[test]
+    fn library_errors_take_no_ladder() {
+        let service = CheckService::new(quiet_config(1));
+        // Two components with the same name: rejected by CompLibrary::build.
+        let (program, _map) = lilac_ast::parse_program(
+            "dup.lilac",
+            "extern comp A[#W]<G:1>(i: [G, G+1] #W) -> (o: [G, G+1] #W);\n\
+             extern comp A[#W]<G:1>(i: [G, G+1] #W) -> (o: [G, G+1] #W);",
+        )
+        .expect("parses");
+        let outcome = service.check(&program);
+        assert!(outcome.verdict.is_err());
+        assert!(outcome.degradations.is_empty());
+        assert_eq!(service.stats().units, 0);
+    }
+}

@@ -73,11 +73,13 @@
 mod alpha;
 pub mod expr;
 pub mod model;
+pub mod persist;
 pub mod pred;
 mod slice;
 pub mod solve;
 
 pub use expr::{LinExpr, Term};
 pub use model::Model;
+pub use persist::{CacheLoadError, CacheLoadStatus};
 pub use pred::Pred;
-pub use solve::{FactMark, Outcome, SharedCache, Solver, SolverConfig, SolverStats};
+pub use solve::{FactMark, Outcome, QueryBudget, SharedCache, Solver, SolverConfig, SolverStats};

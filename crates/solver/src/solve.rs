@@ -42,6 +42,87 @@ impl Outcome {
     }
 }
 
+/// A cooperative resource budget shared between a client and the solvers it
+/// drives.
+///
+/// Budgets are the service-level degradation hook: a long-lived checker
+/// hands every solver a clone of one budget, and the solver *charges* it
+/// once per query. When the query allowance runs out or the wall-clock
+/// deadline passes, the charge raises an unwinding panic carrying
+/// [`lilac_util::fault::BudgetExhausted`] — the nearest `catch_unwind`
+/// boundary (the service's per-unit isolation) recognizes the sentinel and
+/// retries on an unbudgeted path. A budget therefore never changes a
+/// verdict: it can only abort an attempt that a fallback then redoes.
+///
+/// Clones share the usage counter, so a budget spanning several solver
+/// instances is charged globally.
+#[derive(Clone, Debug, Default)]
+pub struct QueryBudget {
+    max_queries: Option<u64>,
+    deadline: Option<std::time::Instant>,
+    used: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl QueryBudget {
+    /// A budget with no limits (charges are counted but never trip).
+    pub fn unlimited() -> QueryBudget {
+        QueryBudget::default()
+    }
+
+    /// Limits the total number of queries across all sharing solvers.
+    pub fn with_max_queries(mut self, max: u64) -> QueryBudget {
+        self.max_queries = Some(max);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> QueryBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    pub fn expiring_in(self, timeout: std::time::Duration) -> QueryBudget {
+        self.with_deadline(std::time::Instant::now() + timeout)
+    }
+
+    /// A budget whose deadline has already passed — the first charge trips.
+    /// Used by fault injection to force the deadline-expiry path
+    /// deterministically, without depending on wall-clock timing.
+    pub fn already_expired(self) -> QueryBudget {
+        let now = std::time::Instant::now();
+        self.with_deadline(now.checked_sub(std::time::Duration::from_millis(1)).unwrap_or(now))
+    }
+
+    /// Queries charged so far (shared across clones).
+    pub fn used(&self) -> u64 {
+        self.used.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Records one query and panics with a
+    /// [`lilac_util::fault::BudgetExhausted`] sentinel if a limit is hit.
+    pub fn charge(&self) {
+        use lilac_util::fault::{BudgetExhausted, BudgetKind};
+        let used = self.used.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if let Some(max) = self.max_queries {
+            if used > max {
+                std::panic::panic_any(BudgetExhausted {
+                    kind: BudgetKind::Queries,
+                    detail: format!("query budget of {max} exhausted"),
+                });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                std::panic::panic_any(BudgetExhausted {
+                    kind: BudgetKind::Deadline,
+                    detail: format!("deadline expired after {used} queries"),
+                });
+            }
+        }
+    }
+}
+
 /// Tunable resource limits and feature toggles for the solver.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
@@ -74,6 +155,11 @@ pub struct SolverConfig {
     /// bound also scales with the cube size so large-but-honest cubes are not
     /// cut off.
     pub eq_elim_guard: usize,
+    /// Optional cooperative resource budget charged once per query. `None`
+    /// (the default) costs one branch per query. See [`QueryBudget`]: an
+    /// exhausted budget aborts the attempt by unwinding, it never changes
+    /// an answer.
+    pub budget: Option<QueryBudget>,
 }
 
 impl Default for SolverConfig {
@@ -89,6 +175,7 @@ impl Default for SolverConfig {
             caching: true,
             shared_cache: None,
             eq_elim_guard: 256,
+            budget: None,
         }
     }
 }
@@ -269,6 +356,10 @@ struct SharedEntry {
     outcome: Outcome,
 }
 
+/// One serialized-form cache bucket: the alpha-invariant hash and each
+/// entry's facts, goal, and outcome (see [`SharedCache::snapshot`]).
+pub(crate) type CacheBucket = (u64, Vec<(Vec<Pred>, Pred, Outcome)>);
+
 /// A query cache that can be handed to many solvers (see
 /// [`SolverConfig::shared_cache`]): cheap to clone, synchronized internally.
 /// Production checkers keep one alive across whole programs so repeated
@@ -292,6 +383,36 @@ impl SharedCache {
     /// True if no queries are memoized.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A stable snapshot of every entry for serialization: the bucket hash
+    /// plus each entry's facts, goal, and outcome. Buckets are sorted by
+    /// hash (entry order within a bucket is insertion order), so equal cache
+    /// contents serialize to equal bytes.
+    pub(crate) fn snapshot(&self) -> Vec<CacheBucket> {
+        let entries = self.entries.lock().expect("shared cache poisoned");
+        let mut buckets: Vec<CacheBucket> = entries
+            .iter()
+            .map(|(&hash, bucket)| {
+                let bucket = bucket
+                    .iter()
+                    .map(|e| ((*e.facts).clone(), e.goal.clone(), e.outcome.clone()))
+                    .collect();
+                (hash, bucket)
+            })
+            .collect();
+        buckets.sort_by_key(|&(hash, _)| hash);
+        buckets
+    }
+
+    /// Inserts a deserialized entry under its recorded bucket hash.
+    pub(crate) fn insert_raw(&self, hash: u64, facts: Vec<Pred>, goal: Pred, outcome: Outcome) {
+        self.entries
+            .lock()
+            .expect("shared cache poisoned")
+            .entry(hash)
+            .or_default()
+            .push(SharedEntry { facts: std::sync::Arc::new(facts), goal, outcome });
     }
 }
 
@@ -407,6 +528,9 @@ impl Solver {
     }
 
     fn prove_at(&mut self, head: Option<u32>, goal: &Pred) -> Outcome {
+        if let Some(budget) = &self.config.budget {
+            budget.charge();
+        }
         self.stats.queries += 1;
         let mut chain = self.facts.chain_from(head);
         chain.sort_unstable();
@@ -1580,5 +1704,42 @@ mod tests {
         let avail_start = var("G") + addl.clone() + (max.clone() - addl.clone());
         let read_at = var("G") + max.clone();
         assert_eq!(s.prove(&Pred::eq(avail_start, read_at)), Outcome::Proved);
+    }
+
+    #[test]
+    fn query_budget_raises_sentinel_panic() {
+        use lilac_util::fault::{BudgetExhausted, BudgetKind};
+        let config = SolverConfig {
+            budget: Some(QueryBudget::unlimited().with_max_queries(2)),
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(config);
+        s.assume(Pred::ge(var("L"), LinExpr::constant(1)));
+        // Two queries fit the budget...
+        assert_eq!(s.prove(&Pred::ge(var("L"), LinExpr::constant(0))), Outcome::Proved);
+        assert_eq!(s.prove(&Pred::ge(var("L"), LinExpr::constant(1))), Outcome::Proved);
+        // ...the third raises the typed sentinel payload, catchable upstream.
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.prove(&Pred::ge(var("L"), LinExpr::constant(1)))
+        }))
+        .expect_err("third query must exhaust the budget");
+        let b = payload.downcast_ref::<BudgetExhausted>().expect("sentinel payload");
+        assert_eq!(b.kind, BudgetKind::Queries);
+    }
+
+    #[test]
+    fn expired_deadline_budget_fires_immediately() {
+        use lilac_util::fault::{BudgetExhausted, BudgetKind};
+        let config = SolverConfig {
+            budget: Some(QueryBudget::unlimited().already_expired()),
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(config);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.prove(&Pred::ge(var("L"), LinExpr::constant(0)))
+        }))
+        .expect_err("expired deadline must fire on the first query");
+        let b = payload.downcast_ref::<BudgetExhausted>().expect("sentinel payload");
+        assert_eq!(b.kind, BudgetKind::Deadline);
     }
 }

@@ -180,6 +180,134 @@ impl From<Diagnostic> for LilacError {
 /// Convenient result alias used throughout the workspace.
 pub type Result<T, E = LilacError> = std::result::Result<T, E>;
 
+/// How serious a [`CheckError`] is for the service that observed it.
+///
+/// Ordinary diagnostics ([`DiagnosticKind`]) describe the *program under
+/// check*; severities describe the *checking infrastructure itself* — a
+/// worker that panicked, a deadline that expired, a cache file that failed
+/// its checksum. The two taxonomies are deliberately separate: a `Fatal`
+/// infrastructure failure is reported through an ordinary error diagnostic
+/// in the end, but `Transient` and `Recoverable` events never change a
+/// verdict, only how (and how fast) it was reached.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Severity {
+    /// The failure was absorbed where it happened (an injected fault, a
+    /// timeout on the optimized path); a retry is expected to succeed.
+    Transient,
+    /// A verdict was produced, but only by falling back to a degraded
+    /// (slower) path; the result is correct and complete.
+    Recoverable,
+    /// No verdict could be produced for the affected unit; it is reported
+    /// as an error diagnostic.
+    Fatal,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Transient => f.write_str("transient"),
+            Severity::Recoverable => f.write_str("recoverable"),
+            Severity::Fatal => f.write_str("fatal"),
+        }
+    }
+}
+
+/// What went wrong inside the checking infrastructure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CheckErrorKind {
+    /// A worker thread panicked while discharging obligations.
+    WorkerPanic,
+    /// A unit's wall-clock deadline expired before it finished.
+    DeadlineExpired,
+    /// A unit's solver query budget ran out.
+    BudgetExhausted,
+    /// A persisted cache image failed validation and was quarantined.
+    CacheCorrupted,
+    /// A unit's verdict was produced on the degraded fallback path.
+    Degraded,
+}
+
+impl fmt::Display for CheckErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl CheckErrorKind {
+    /// Short stable name (used in reports and fingerprints).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckErrorKind::WorkerPanic => "worker-panic",
+            CheckErrorKind::DeadlineExpired => "deadline-expired",
+            CheckErrorKind::BudgetExhausted => "budget-exhausted",
+            CheckErrorKind::CacheCorrupted => "cache-corrupted",
+            CheckErrorKind::Degraded => "degraded",
+        }
+    }
+}
+
+/// A structured infrastructure failure observed while checking.
+///
+/// Carried alongside (not inside) the program's diagnostics: a degraded
+/// component still reports the same [`Diagnostic`]s the healthy path would
+/// have produced, plus one of these describing how the service got there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckError {
+    /// What happened.
+    pub kind: CheckErrorKind,
+    /// How serious it was.
+    pub severity: Severity,
+    /// The component (or other unit) affected, when known.
+    pub component: Option<String>,
+    /// Human-readable description.
+    pub detail: String,
+    /// Which attempt on the degradation ladder observed it (0 = the
+    /// optimized first attempt).
+    pub attempt: u32,
+}
+
+impl CheckError {
+    /// Creates a check error with no component attribution.
+    pub fn new(kind: CheckErrorKind, severity: Severity, detail: impl Into<String>) -> CheckError {
+        CheckError { kind, severity, component: None, detail: detail.into(), attempt: 0 }
+    }
+
+    /// Attributes the error to a named component.
+    pub fn for_component(mut self, name: impl Into<String>) -> CheckError {
+        self.component = Some(name.into());
+        self
+    }
+
+    /// Records which ladder attempt observed the error.
+    pub fn at_attempt(mut self, attempt: u32) -> CheckError {
+        self.attempt = attempt;
+        self
+    }
+
+    /// Renders the error as a warning [`Diagnostic`] (the verdict-neutral
+    /// severities) or an error diagnostic (`Fatal`).
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let message = self.to_string();
+        match self.severity {
+            Severity::Fatal => Diagnostic::error(message, Span::dummy()),
+            _ => Diagnostic::warning(message, Span::dummy()),
+        }
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.kind.name(), self.severity)?;
+        if let Some(c) = &self.component {
+            write!(f, " in `{c}`")?;
+        }
+        if self.attempt > 0 {
+            write!(f, " at attempt {}", self.attempt)?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
 /// Accumulates diagnostics emitted during a compiler pass.
 ///
 /// Passes push errors and warnings as they are discovered and convert the
@@ -327,5 +455,30 @@ mod tests {
         let e = LilacError::msg("elaboration cycle detected");
         assert_eq!(e.primary().message, "elaboration cycle detected");
         assert!(e.to_string().contains("elaboration cycle"));
+    }
+
+    #[test]
+    fn check_error_renders_and_tags() {
+        let e = CheckError::new(
+            CheckErrorKind::DeadlineExpired,
+            Severity::Recoverable,
+            "deadline expired after 12 queries",
+        )
+        .for_component("FPU")
+        .at_attempt(1);
+        let s = e.to_string();
+        assert!(s.contains("deadline-expired"), "{s}");
+        assert!(s.contains("recoverable"), "{s}");
+        assert!(s.contains("`FPU`"), "{s}");
+        assert!(s.contains("attempt 1"), "{s}");
+        assert_eq!(e.to_diagnostic().kind, DiagnosticKind::Warning);
+        let fatal = CheckError::new(CheckErrorKind::WorkerPanic, Severity::Fatal, "gave up");
+        assert_eq!(fatal.to_diagnostic().kind, DiagnosticKind::Error);
+    }
+
+    #[test]
+    fn severity_orders_by_seriousness() {
+        assert!(Severity::Transient < Severity::Recoverable);
+        assert!(Severity::Recoverable < Severity::Fatal);
     }
 }

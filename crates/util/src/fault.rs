@@ -1,0 +1,275 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The fault-tolerance machinery (panic isolation, deadline budgets, cache
+//! corruption recovery) is only trustworthy if it is *exercised*, so this
+//! module provides a [`FaultPlan`]: a seeded schedule that decides, purely as
+//! a function of `(seed, kind, site)`, whether a fault fires at a given
+//! injection site. Equal seeds produce equal schedules, so a fuzzing run
+//! under fault injection is replayable bit-for-bit — the same property every
+//! other oracle in the workspace has.
+//!
+//! Four fault kinds are modeled (see [`FaultKind`]): a worker thread panic,
+//! a forced deadline expiry, solver budget exhaustion, and cache-byte
+//! corruption. The first three are raised inside the checking path as panics
+//! carrying the sentinel payloads below ([`InjectedPanic`],
+//! [`BudgetExhausted`]) so a `catch_unwind` boundary can recognize them and
+//! degrade gracefully instead of crashing; the fourth mutates a serialized
+//! cache image so the corruption-detection path is forced to quarantine and
+//! rebuild.
+//!
+//! The plan is cheap to clone (counters are shared through an `Arc`) and
+//! safe to consult from many worker threads at once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The failure modes a [`FaultPlan`] can inject.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FaultKind {
+    /// A worker panics mid-obligation (sentinel payload: [`InjectedPanic`]).
+    WorkerPanic,
+    /// A per-unit deadline is treated as already expired.
+    DeadlineExpiry,
+    /// The solver's query budget is exhausted almost immediately.
+    BudgetExhaustion,
+    /// Bytes of a serialized cache image are corrupted.
+    CacheCorruption,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a stable order.
+    pub fn all() -> [FaultKind; 4] {
+        [
+            FaultKind::WorkerPanic,
+            FaultKind::DeadlineExpiry,
+            FaultKind::BudgetExhaustion,
+            FaultKind::CacheCorruption,
+        ]
+    }
+
+    /// Stable index used for counters and hashing salts.
+    fn index(self) -> usize {
+        match self {
+            FaultKind::WorkerPanic => 0,
+            FaultKind::DeadlineExpiry => 1,
+            FaultKind::BudgetExhaustion => 2,
+            FaultKind::CacheCorruption => 3,
+        }
+    }
+
+    /// Short stable name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::DeadlineExpiry => "deadline-expiry",
+            FaultKind::BudgetExhaustion => "budget-exhaustion",
+            FaultKind::CacheCorruption => "cache-corruption",
+        }
+    }
+}
+
+/// Sentinel panic payload for an injected worker panic. A `catch_unwind`
+/// boundary downcasting to this type knows the panic was scheduled by a
+/// [`FaultPlan`], not raised by a genuine bug.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectedPanic {
+    /// The injection site that fired.
+    pub site: u64,
+}
+
+/// Which budget limit was hit (see [`BudgetExhausted`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetKind {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The query-count allowance ran out.
+    Queries,
+}
+
+/// Sentinel panic payload raised when a cooperative resource budget is
+/// exhausted (the solver's `QueryBudget` raises it between queries). Budgets
+/// are a *service-level* mechanism: the panic is expected to be caught at
+/// the unit boundary and answered by retrying on an unbudgeted path.
+#[derive(Clone, Debug)]
+pub struct BudgetExhausted {
+    /// Which limit was hit.
+    pub kind: BudgetKind,
+    /// Human-readable description (e.g. `"deadline expired after 12 queries"`).
+    pub detail: String,
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of the input.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, seeded fault-injection schedule.
+///
+/// Disabled plans (the default) never fire and cost one branch per query.
+/// Enabled plans fire each [`FaultKind`] independently at roughly one site
+/// in eight, decided by a hash of `(seed, kind, site)` — no global state, so
+/// concurrent workers asking about different sites cannot perturb each
+/// other's schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: Option<u64>,
+    injected: Arc<[AtomicU64; 4]>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan injecting faults on the deterministic schedule derived from
+    /// `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan { seed: Some(seed), injected: Arc::default() }
+    }
+
+    /// True if this plan can fire.
+    pub fn is_enabled(&self) -> bool {
+        self.seed.is_some()
+    }
+
+    /// The seed, if enabled.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Decides whether `kind` fires at injection site `site`, recording the
+    /// injection when it does. Purely a function of `(seed, kind, site)`.
+    pub fn should(&self, kind: FaultKind, site: u64) -> bool {
+        let Some(seed) = self.seed else { return false };
+        let h = mix(seed ^ mix(site ^ ((kind.index() as u64 + 1) << 56)));
+        let fire = h.is_multiple_of(8);
+        if fire {
+            self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Corrupts a serialized image in a deterministically chosen way when
+    /// the [`FaultKind::CacheCorruption`] schedule fires at `site`. Returns
+    /// a description of the corruption applied, or `None` when the schedule
+    /// did not fire (or the image is too small to corrupt meaningfully).
+    ///
+    /// The three modes — truncation, a bit flip, and a version bump — are
+    /// exactly the corruption classes the cache loader must detect.
+    pub fn corrupt_bytes(&self, bytes: &mut Vec<u8>, site: u64) -> Option<&'static str> {
+        if !self.should(FaultKind::CacheCorruption, site) {
+            return None;
+        }
+        let seed = self.seed.expect("should() fired, so the plan is enabled");
+        if bytes.len() < 16 {
+            bytes.truncate(bytes.len() / 2);
+            return Some("truncated");
+        }
+        match mix(seed ^ mix(site ^ 0xc0de)) % 3 {
+            0 => {
+                let keep = bytes.len() / 2;
+                bytes.truncate(keep);
+                Some("truncated")
+            }
+            1 => {
+                let at = 12 + (mix(seed ^ site) as usize) % (bytes.len() - 12);
+                let bit = (mix(site ^ 0xb1f) % 8) as u32;
+                bytes[at] ^= 1u8 << bit;
+                Some("bit-flipped")
+            }
+            _ => {
+                // The on-disk version field lives at bytes 8..12 (after the
+                // 8-byte magic); bumping it must read as "unsupported".
+                bytes[8] = bytes[8].wrapping_add(1);
+                Some("version-bumped")
+            }
+        }
+    }
+
+    /// Number of times `kind` has fired through this plan (shared across
+    /// clones).
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across all kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        for site in 0..1000 {
+            for kind in FaultKind::all() {
+                assert!(!plan.should(kind, site));
+            }
+        }
+        assert_eq!(plan.total_injected(), 0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7);
+        let b = FaultPlan::seeded(7);
+        let c = FaultPlan::seeded(8);
+        let fire = |p: &FaultPlan| -> Vec<bool> {
+            (0..512).flat_map(|s| FaultKind::all().map(|k| p.should(k, s))).collect()
+        };
+        let fa = fire(&a);
+        assert_eq!(fa, fire(&b), "equal seeds must give equal schedules");
+        assert_ne!(fa, fire(&c), "different seeds must diverge");
+        assert!(fa.iter().any(|&f| f), "a 512-site schedule should fire at least once");
+        assert!(a.total_injected() > 0);
+    }
+
+    #[test]
+    fn every_kind_eventually_fires() {
+        let plan = FaultPlan::seeded(0);
+        for site in 0..4096 {
+            for kind in FaultKind::all() {
+                plan.should(kind, site);
+            }
+        }
+        for kind in FaultKind::all() {
+            assert!(plan.injected(kind) > 0, "{} never fired in 4096 sites", kind.name());
+        }
+    }
+
+    #[test]
+    fn corruption_modes_are_deterministic() {
+        let plan = FaultPlan::seeded(3);
+        let image: Vec<u8> = (0..64u8).collect();
+        // Find a firing site, corrupt twice, expect identical results.
+        let site = (0..10_000)
+            .find(|&s| FaultPlan::seeded(3).should(FaultKind::CacheCorruption, s))
+            .expect("some site must fire");
+        let mut a = image.clone();
+        let mut b = image.clone();
+        let what_a = plan.corrupt_bytes(&mut a, site);
+        let what_b = FaultPlan::seeded(3).corrupt_bytes(&mut b, site);
+        assert_eq!(what_a, what_b);
+        assert!(what_a.is_some());
+        assert_eq!(a, b);
+        assert_ne!(a, image, "corruption must change the image");
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let plan = FaultPlan::seeded(1);
+        let clone = plan.clone();
+        for site in 0..256 {
+            clone.should(FaultKind::WorkerPanic, site);
+        }
+        assert_eq!(plan.injected(FaultKind::WorkerPanic), clone.injected(FaultKind::WorkerPanic));
+    }
+}

@@ -8,8 +8,11 @@
 //! * [`diag`] — structured diagnostics (errors, warnings, notes) with
 //!   rendering against a [`SourceMap`],
 //! * [`idx`] — strongly-typed index newtypes and dense index maps,
-//! * [`par`] — an order-preserving parallel map over scoped threads,
-//! * [`rng`] — a deterministic pseudo-random generator for tests.
+//! * [`par`] — an order-preserving parallel map over scoped threads with
+//!   per-item panic isolation,
+//! * [`rng`] — a deterministic pseudo-random generator for tests,
+//! * [`fault`] — deterministic seeded fault injection for exercising the
+//!   fault-tolerance machinery.
 //!
 //! # Example
 //!
@@ -22,12 +25,17 @@
 //! ```
 
 pub mod diag;
+pub mod fault;
 pub mod idx;
 pub mod intern;
 pub mod par;
 pub mod rng;
 pub mod span;
 
-pub use diag::{Diagnostic, DiagnosticKind, ErrorReporter, LilacError, Result};
+pub use diag::{
+    CheckError, CheckErrorKind, Diagnostic, DiagnosticKind, ErrorReporter, LilacError, Result,
+    Severity,
+};
+pub use fault::{FaultKind, FaultPlan};
 pub use intern::Symbol;
 pub use span::{SourceFile, SourceMap, Span};

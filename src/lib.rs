@@ -7,6 +7,7 @@ pub use lilac_gen as gen;
 pub use lilac_ir as ir;
 pub use lilac_li as li;
 pub use lilac_opt as opt;
+pub use lilac_service as service;
 pub use lilac_sim as sim;
 pub use lilac_solver as solver;
 pub use lilac_synth as synth;
