@@ -217,9 +217,25 @@ fn bench_retime() {
     }
 }
 
+fn bench_sim() {
+    println!("-- compiled simulation (lilac-sim tape) vs the interpreter --");
+    let rows = lilac_bench::sim_backend_report(20_000, 3).expect("sim backend report");
+    println!(
+        "{:<28} {:>7} {:>12} {:>12} {:>9} {:>11}",
+        "Design", "cycles", "interp", "compiled", "speedup", "64-lane-spd"
+    );
+    for row in &rows {
+        println!(
+            "{:<28} {:>7} {:>12.3?} {:>12.3?} {:>8.2}x {:>10.1}x",
+            row.design, row.cycles, row.interp, row.compiled, row.speedup, row.lane_speedup
+        );
+    }
+}
+
 fn bench_fuzz() {
     println!(
-        "-- fuzz throughput: generate + check x4 + elaborate + optimize + retime + simulate x7 per case --"
+        "-- fuzz throughput: generate + check x4 + elaborate + optimize + retime + simulate x8 \
+         (+ 64-lane compiled batch) per case --"
     );
     let row = lilac_bench::fuzz_throughput(150, 0);
     println!(
@@ -237,6 +253,7 @@ fn main() {
     bench_vsim();
     bench_opt();
     bench_retime();
+    bench_sim();
     bench_fuzz();
     bench_solver_ab();
 }

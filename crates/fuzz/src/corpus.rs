@@ -6,11 +6,12 @@
 //! the expected value and latency of every output *as computed when the
 //! file was generated*. The corpus therefore pins several independent
 //! layers at once: the checker's verdict, elaboration's output parameters,
-//! the simulator's cycle-exact values, and — via the vsim, optimizer, and
-//! retiming oracles inside the shared drive loop — the Verilog backend's,
-//! `lilac_opt::optimize`'s, and `lilac_opt::retime`'s cycle-exact
-//! behaviour (the retimer additionally pinned to exact per-output latency
-//! and a never-worse estimated critical path).
+//! the simulator's cycle-exact values, and — via the vsim, optimizer,
+//! retiming, and compiled-simulation oracles inside the shared drive loop —
+//! the Verilog backend's, `lilac_opt::optimize`'s, `lilac_opt::retime`'s,
+//! and `lilac_sim::CompiledSim`'s cycle-exact behaviour (the retimer
+//! additionally pinned to exact per-output latency and a never-worse
+//! estimated critical path).
 //!
 //! Files are generated with `cargo run -p lilac-fuzz -- --emit-corpus
 //! fuzz/corpus` and replayed by `tests/corpus.rs` on every `cargo test`.
@@ -184,8 +185,8 @@ pub fn emit_case(scenario: &Scenario) -> Result<String, Failure> {
 /// for clean cases — elaboration, output-parameter pinning, cycle-exact
 /// simulation against the embedded values, the LA/LI wrapper oracle, the
 /// Verilog-backend oracle (emit → `lilac-vsim` parse → cycle-compare), the
-/// optimizer oracle, and the retiming oracle (all inside the shared
-/// [`crate::oracle::drive_netlist`] loop).
+/// optimizer oracle, the retiming oracle, and the compiled-simulation
+/// oracle (all inside the shared [`crate::oracle::drive_netlist`] loop).
 ///
 /// # Errors
 ///

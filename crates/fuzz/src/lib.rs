@@ -5,7 +5,7 @@
 //! *well-typed-by-construction* Lilac programs — compositions of standard
 //! library components, loops and bundles, parameterized generated
 //! sub-components, and FloPoCo generator invocations — and pushes each one
-//! through eight differential oracles (see [`oracle`]):
+//! through nine differential oracles (see [`oracle`]):
 //!
 //! 1. every checker configuration (optimized / serial / shared-cache /
 //!    naive) reaches the same verdict;
@@ -34,7 +34,13 @@
 //!    checker's verdict on every case, degradations and cache quarantines
 //!    notwithstanding (the robustness oracle). Because faults only shape
 //!    *how* the service reaches its answer, the run's fingerprint is
-//!    identical with and without `--faults`.
+//!    identical with and without `--faults`;
+//! 9. the compiled bit-parallel tape ([`lilac_sim::CompiledSim`]) matches
+//!    the interpreter on every output of every cycle in the same lockstep
+//!    loop, and — with the case's stimulus vectors packed one per `u64`
+//!    bit lane and held constant — settles every listed output to the
+//!    scenario interpreter's predicted value in every lane (the compiled
+//!    simulation oracle).
 //!
 //! A sixth of the cases carry a deliberate one-cycle timing fault and must
 //! be *rejected* — identically — by every checker configuration.

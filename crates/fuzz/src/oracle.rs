@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! Every generated case is pushed through eight independent cross-checks:
+//! Every generated case is pushed through nine independent cross-checks:
 //!
 //! 1. **Checker A/B** — the optimized obligation-discharge pipeline
 //!    (slicing + caching + indexed scopes), the serial variant, a variant
@@ -49,13 +49,25 @@
 //!    worker panics, forced deadline expiries, and budget exhaustion) must
 //!    reach exactly the naive checker's verdict on every case. Degradation
 //!    is allowed; a flipped verdict is a failed isolation or fallback.
+//! 9. **Compiled simulation** — the bit-parallel compiled tape
+//!    ([`lilac_sim::CompiledSim`]), driven in the same lockstep loop, must
+//!    match the interpreter on every output of every cycle from power-up
+//!    onward; and with the case's stimulus vectors packed one-per-lane and
+//!    held constant, every listed output must settle to the scenario
+//!    interpreter's predicted value in every lane. The two halves pin the
+//!    tape's scheduling/masking and its lane isolation respectively, on
+//!    generated cases and on every corpus replay.
+//!
+//! All simulation engines are driven through the one [`SimBackend`]
+//! contract, so adding an engine is one [`Engine`] constructor — not
+//! another copy of the drive loop.
 
 use crate::scenario::{eval_gen, eval_steps, Scenario};
 use crate::synth::{Latency, Synthesized};
 use lilac_core::{check_program_with, CheckOptions, CheckReport};
 use lilac_elab::{elaborate_module, ElabConfig};
 use lilac_service::{CheckService, ServiceConfig};
-use lilac_sim::Simulator;
+use lilac_sim::{CompiledSim, SimBackend, Simulator};
 use lilac_solver::SharedCache;
 use lilac_util::diag::LilacError;
 use lilac_util::fault::FaultPlan;
@@ -294,19 +306,39 @@ fn round_trip(synth: &Synthesized) -> Result<(), Failure> {
 /// the expected value for each stimulus vector.
 pub type DrivenOutput = (String, u64, Vec<u64>);
 
-/// Oracles 2, 4, 5, 6 and 7, shared with the corpus replayer: drive
+/// One lockstep engine in the drive loop: any [`SimBackend`] plus the
+/// oracle name its disagreements report under and its positional port-name
+/// tables (emission may legally rename ports; netlist-level engines reuse
+/// the raw names).
+struct Engine {
+    /// Which oracle a disagreement reports as.
+    oracle: &'static str,
+    /// How the engine is described in a disagreement message.
+    desc: &'static str,
+    backend: Box<dyn SimBackend>,
+    /// Engine-local input name per stimulus-input position.
+    inputs: Vec<String>,
+    /// Engine-local output name per raw-netlist output position.
+    outputs: Vec<String>,
+}
+
+/// Oracles 2, 4, 5, 6, 7 and 9, shared with the corpus replayer: drive
 /// `netlist`, its auto-wrapped LI counterpart, its optimized rewrite
-/// (`lilac_opt::optimize`), its retimed rewrite (`lilac_opt::retime`), and
-/// the `lilac-vsim` simulations of the raw, optimized, and retimed
-/// emitted Verilog with the exact-latency streaming protocol. At cycle `c` the
-/// stimulus vector `c mod m` is applied and every listed output with
-/// latency `t <= c` must equal its expected value for vector
-/// `(c - t) mod m`; every output of the core (not only the listed ones)
-/// must match the LI wrapper, the optimized netlist, the retimed netlist,
-/// and both Verilog simulations bit-for-bit on every cycle. The retimed
-/// netlist must additionally leave every output's minimum input-to-output
-/// register count unchanged and must never worsen the estimated critical
-/// path. Returns the number of cycles driven.
+/// (`lilac_opt::optimize`), its retimed rewrite (`lilac_opt::retime`), the
+/// `lilac-vsim` simulations of the raw, optimized, and retimed emitted
+/// Verilog, and the compiled bit-parallel tape of the raw netlist — all
+/// through the one [`SimBackend`] drive loop — with the exact-latency
+/// streaming protocol. At cycle `c` the stimulus vector `c mod m` is
+/// applied and every listed output with latency `t <= c` must equal its
+/// expected value for vector `(c - t) mod m`; every output of the core
+/// (not only the listed ones) must match every engine bit-for-bit on every
+/// cycle. The retimed netlist must additionally leave every output's
+/// minimum input-to-output register count unchanged and must never worsen
+/// the estimated critical path. Finally the batched half of oracle 9 packs
+/// the stimulus vectors one-per-lane into a fresh compiled tape, holds
+/// them constant, and checks every listed output settles to its expected
+/// value in every active lane. Returns the number of lockstep cycles
+/// driven.
 pub(crate) fn drive_netlist(
     netlist: &lilac_ir::Netlist,
     inputs: &[String],
@@ -336,31 +368,9 @@ pub(crate) fn drive_netlist(
 
     let mut sim = Simulator::new(netlist)
         .map_err(|e| Failure::new("simulate", format!("netlist rejected: {e}")))?;
-    let wrapped = lilac_li::rv::auto_wrap(netlist, max_lat as u32);
-    let mut li_sim = Simulator::new(&wrapped)
-        .map_err(|e| Failure::new("la-li", format!("wrapped netlist rejected: {e}")))?;
-    li_sim.set_input("valid_i", 1);
-    li_sim.set_input("ready_i", 1);
-    // The LA/LI comparison covers every output the netlist exposes, not
+    // The engine comparisons cover every output the netlist exposes, not
     // just the ones with recorded expected values.
     let all_outputs = sim.output_names();
-
-    // Oracle 5: the emitted Verilog, parsed and simulated by lilac-vsim.
-    // Ports are matched positionally (emission preserves declaration order;
-    // sanitization may legally rename them).
-    let (mut vsim, v_inputs, v_outputs) = verilog_sim(netlist, "verilog-parse", "verilog-elab")?;
-    if v_inputs.len() != netlist.inputs.len() || v_outputs.len() != all_outputs.len() {
-        return Err(Failure::new(
-            "verilog-ports",
-            format!(
-                "emitted module has {}+{} data ports for a netlist with {}+{}",
-                v_inputs.len(),
-                v_outputs.len(),
-                netlist.inputs.len(),
-                all_outputs.len()
-            ),
-        ));
-    }
     // Stimulus input name -> position in the netlist's declaration order.
     let input_position: Vec<usize> = inputs
         .iter()
@@ -372,6 +382,64 @@ pub(crate) fn drive_netlist(
                 .ok_or_else(|| Failure::new("stimulus", format!("unknown input `{name}`")))
         })
         .collect::<Result<_, _>>()?;
+    // Netlist-level engines address ports by the raw names; Verilog-level
+    // engines positionally (emission preserves declaration order but
+    // sanitization may legally rename).
+    let raw_names = |backend: Box<dyn SimBackend>, oracle, desc| Engine {
+        oracle,
+        desc,
+        backend,
+        inputs: inputs.to_vec(),
+        outputs: all_outputs.clone(),
+    };
+    let verilog_engine = |netlist: &lilac_ir::Netlist,
+                          oracle: &'static str,
+                          desc: &'static str,
+                          parse_oracle: &'static str,
+                          elab_oracle: &'static str,
+                          ports_oracle: &'static str|
+     -> Result<Engine, Failure> {
+        let (vsim, v_inputs, v_outputs) = verilog_sim(netlist, parse_oracle, elab_oracle)?;
+        // The optimizer and retimer leave the interface untouched, so every
+        // variant's emitted module must expose the raw netlist's port counts.
+        if v_inputs.len() != netlist.inputs.len() || v_outputs.len() != all_outputs.len() {
+            return Err(Failure::new(
+                ports_oracle,
+                format!(
+                    "emitted module has {}+{} data ports for a netlist with {}+{}",
+                    v_inputs.len(),
+                    v_outputs.len(),
+                    netlist.inputs.len(),
+                    all_outputs.len()
+                ),
+            ));
+        }
+        Ok(Engine {
+            oracle,
+            desc,
+            backend: Box::new(vsim),
+            inputs: input_position.iter().map(|&p| v_inputs[p].clone()).collect(),
+            outputs: v_outputs,
+        })
+    };
+
+    // Oracle 4: the mechanically wrapped ready–valid counterpart under the
+    // never-stalling handshake.
+    let wrapped = lilac_li::rv::auto_wrap(netlist, max_lat as u32);
+    let mut li_sim = Simulator::new(&wrapped)
+        .map_err(|e| Failure::new("la-li", format!("wrapped netlist rejected: {e}")))?;
+    li_sim.set_input("valid_i", 1);
+    li_sim.set_input("ready_i", 1);
+
+    // Oracle 5: the emitted Verilog, parsed and simulated by lilac-vsim.
+    let vsim_engine = verilog_engine(
+        netlist,
+        "verilog",
+        "emitted Verilog",
+        "verilog-parse",
+        "verilog-elab",
+        "verilog-ports",
+    )?;
 
     // Oracle 6: the optimized netlist, simulated directly and through its
     // own emitted Verilog. The optimizer's contract — never grow the
@@ -398,7 +466,7 @@ pub(crate) fn drive_netlist(
             ),
         ));
     }
-    let mut opt_sim = Simulator::new(&optimized)
+    let opt_sim = Simulator::new(&optimized)
         .map_err(|e| Failure::new("opt", format!("optimized netlist rejected: {e}")))?;
 
     // Oracle 7: the retimed netlist. The structural half of its contract —
@@ -421,53 +489,53 @@ pub(crate) fn drive_netlist(
                     .unwrap_or("retimer panicked");
                 Failure::new("retime", format!("retimer panicked: {msg}"))
             })?;
-    let mut ret_sim = Simulator::new(&retimed)
+    let ret_sim = Simulator::new(&retimed)
         .map_err(|e| Failure::new("retime", format!("retimed netlist rejected: {e}")))?;
     // The retimed netlist's own emitted Verilog must round-trip too —
     // retiming is the only pass that decrements stages to width-masking
     // `Delay(0)` passthroughs while inserting fresh `_rt`-named stages, and
     // those shapes deserve the same backend scrutiny the optimizer's
     // rewrites get.
-    let (mut ret_vsim, ret_v_inputs, ret_v_outputs) =
-        verilog_sim(&retimed, "retime-verilog-parse", "retime-verilog-elab")?;
-    if ret_v_inputs.len() != v_inputs.len() || ret_v_outputs.len() != v_outputs.len() {
-        return Err(Failure::new(
-            "retime-verilog-ports",
-            format!(
-                "retimed module has {}+{} data ports, the raw module {}+{}",
-                ret_v_inputs.len(),
-                ret_v_outputs.len(),
-                v_inputs.len(),
-                v_outputs.len()
-            ),
-        ));
-    }
-    let (mut opt_vsim, opt_v_inputs, opt_v_outputs) =
-        verilog_sim(&optimized, "opt-verilog-parse", "opt-verilog-elab")?;
-    if opt_v_inputs.len() != v_inputs.len() || opt_v_outputs.len() != v_outputs.len() {
-        return Err(Failure::new(
-            "opt-verilog-ports",
-            format!(
-                "optimized module has {}+{} data ports, the raw module {}+{}",
-                opt_v_inputs.len(),
-                opt_v_outputs.len(),
-                v_inputs.len(),
-                v_outputs.len()
-            ),
-        ));
-    }
+    let ret_vsim_engine = verilog_engine(
+        &retimed,
+        "retime-verilog",
+        "retimed emitted Verilog",
+        "retime-verilog-parse",
+        "retime-verilog-elab",
+        "retime-verilog-ports",
+    )?;
+    let opt_vsim_engine = verilog_engine(
+        &optimized,
+        "opt-verilog",
+        "optimized emitted Verilog",
+        "opt-verilog-parse",
+        "opt-verilog-elab",
+        "opt-verilog-ports",
+    )?;
+
+    // Oracle 9, lockstep half: the compiled tape of the raw netlist,
+    // broadcast-driven, must match the interpreter everywhere.
+    let compiled = CompiledSim::new(netlist)
+        .map_err(|e| Failure::new("compiled", format!("netlist failed to compile: {e}")))?;
+
+    let mut engines = vec![
+        raw_names(Box::new(li_sim), "la-li", "LI wrapper"),
+        vsim_engine,
+        raw_names(Box::new(opt_sim), "opt", "optimized netlist"),
+        opt_vsim_engine,
+        raw_names(Box::new(ret_sim), "retime", "retimed netlist"),
+        ret_vsim_engine,
+        raw_names(Box::new(compiled), "compiled", "compiled tape"),
+    ];
 
     let total = max_lat + (2 * m as u64) + 2;
     for c in 0..total {
         let stim = &stimuli[(c as usize) % m];
         for (k, name) in inputs.iter().enumerate() {
             sim.set_input(name, stim[k]);
-            li_sim.set_input(name, stim[k]);
-            opt_sim.set_input(name, stim[k]);
-            ret_sim.set_input(name, stim[k]);
-            vsim.set_input(&v_inputs[input_position[k]], stim[k]);
-            opt_vsim.set_input(&opt_v_inputs[input_position[k]], stim[k]);
-            ret_vsim.set_input(&ret_v_inputs[input_position[k]], stim[k]);
+            for e in &mut engines {
+                e.backend.set_input(&e.inputs[k], stim[k]);
+            }
         }
         for (name, lat, values) in outputs {
             if c < *lat {
@@ -486,69 +554,58 @@ pub(crate) fn drive_netlist(
         }
         for (k, name) in all_outputs.iter().enumerate() {
             let got = sim.peek(name);
-            let li_got = li_sim.peek(name);
-            if li_got != got {
-                return Err(Failure::new(
-                    "la-li",
-                    format!(
-                        "output `{name}` at cycle {c}: LA netlist {got:#x}, LI wrapper {li_got:#x}"
-                    ),
-                ));
+            for e in &mut engines {
+                let e_got = e.backend.output(&e.outputs[k]);
+                if e_got != got {
+                    return Err(Failure::new(
+                        e.oracle,
+                        format!(
+                            "output `{name}` at cycle {c}: raw netlist {got:#x}, {} {e_got:#x}",
+                            e.desc
+                        ),
+                    ));
+                }
             }
-            let v_got = vsim.peek(&v_outputs[k]);
-            if v_got != got {
+        }
+        sim.step();
+        for e in &mut engines {
+            e.backend.step();
+        }
+    }
+
+    // Oracle 9, batched half: one lane per stimulus vector, held constant
+    // (constant inputs are the m = 1 special case of the streaming
+    // protocol, so after `lat` cycles each listed output must sit at its
+    // predicted value). A case's handful of vectors never fills all 64
+    // lanes, which makes every generated case a partial-top-lane batch.
+    let mut batch = CompiledSim::new(netlist)
+        .map_err(|e| Failure::new("compiled", format!("netlist failed to compile: {e}")))?;
+    batch.set_active(m.min(lilac_sim::compiled::LANES));
+    for (lane, stim) in stimuli.iter().take(batch.active()).enumerate() {
+        for (k, name) in inputs.iter().enumerate() {
+            batch
+                .try_set_input_lane(lane, name, stim[k])
+                .map_err(|e| Failure::new("compiled", format!("lane stimulus rejected: {e}")))?;
+        }
+    }
+    for _ in 0..=max_lat {
+        batch.step();
+    }
+    for (name, _, values) in outputs {
+        let got = batch.output_lanes(name);
+        for (lane, want) in values.iter().take(got.len()).enumerate() {
+            if got[lane] != *want {
                 return Err(Failure::new(
-                    "verilog",
+                    "compiled",
                     format!(
-                        "output `{name}` at cycle {c}: lilac-sim {got:#x}, emitted Verilog {v_got:#x}"
-                    ),
-                ));
-            }
-            let opt_got = opt_sim.peek(name);
-            if opt_got != got {
-                return Err(Failure::new(
-                    "opt",
-                    format!(
-                        "output `{name}` at cycle {c}: raw netlist {got:#x}, optimized netlist {opt_got:#x}"
-                    ),
-                ));
-            }
-            let opt_v_got = opt_vsim.peek(&opt_v_outputs[k]);
-            if opt_v_got != got {
-                return Err(Failure::new(
-                    "opt-verilog",
-                    format!(
-                        "output `{name}` at cycle {c}: raw netlist {got:#x}, optimized emitted Verilog {opt_v_got:#x}"
-                    ),
-                ));
-            }
-            let ret_got = ret_sim.peek(name);
-            if ret_got != got {
-                return Err(Failure::new(
-                    "retime",
-                    format!(
-                        "output `{name}` at cycle {c}: raw netlist {got:#x}, retimed netlist {ret_got:#x}"
-                    ),
-                ));
-            }
-            let ret_v_got = ret_vsim.peek(&ret_v_outputs[k]);
-            if ret_v_got != got {
-                return Err(Failure::new(
-                    "retime-verilog",
-                    format!(
-                        "output `{name}` at cycle {c}: raw netlist {got:#x}, retimed emitted Verilog {ret_v_got:#x}"
+                        "output `{name}` lane {lane} settled at {:#x}, expected {want:#x}",
+                        got[lane]
                     ),
                 ));
             }
         }
-        sim.step();
-        li_sim.step();
-        vsim.step();
-        opt_sim.step();
-        opt_vsim.step();
-        ret_sim.step();
-        ret_vsim.step();
     }
+
     Ok(total)
 }
 

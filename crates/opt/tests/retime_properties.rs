@@ -16,33 +16,52 @@
 
 use lilac_ir::{Netlist, NodeId, NodeKind, PipeOp};
 use lilac_opt::{retime_with_stats, RetimeStats};
-use lilac_sim::Simulator;
+use lilac_sim::{CompiledSim, SimBackend, Simulator};
 use lilac_util::rng::Rng;
-use std::collections::HashMap;
 
-/// Drives `a` and `b` with the same random stimuli and asserts every output
-/// matches on every cycle (power-up cycle 0 included).
-fn assert_cycle_exact(a: &Netlist, b: &Netlist, seed: u64, cycles: usize) {
+/// Drives `a` and `b` with the same random stimuli through any
+/// [`SimBackend`] constructor and asserts every output matches on every
+/// cycle (power-up cycle 0 included).
+fn assert_cycle_exact_with<B: SimBackend>(
+    a: &Netlist,
+    b: &Netlist,
+    seed: u64,
+    cycles: usize,
+    backend: &str,
+    make: impl Fn(&Netlist) -> B,
+) {
     let mut rng = Rng::new(seed);
-    let mut sim_a = Simulator::new(a).expect("original simulates");
-    let mut sim_b = Simulator::new(b).expect("retimed simulates");
+    let mut sim_a = make(a);
+    let mut sim_b = make(b);
     let outputs = sim_a.output_names();
     for cycle in 0..cycles {
-        let stim: HashMap<String, u64> =
-            a.inputs.iter().map(|p| (p.name.clone(), rng.next_u64())).collect();
-        sim_a.set_inputs(&stim);
-        sim_b.set_inputs(&stim);
+        for port in &a.inputs {
+            let value = rng.next_u64();
+            sim_a.set_input(&port.name, value);
+            sim_b.set_input(&port.name, value);
+        }
         for name in &outputs {
             assert_eq!(
-                sim_a.peek(name),
-                sim_b.peek(name),
-                "output `{name}` diverged at cycle {cycle} of `{}`",
+                sim_a.output(name),
+                sim_b.output(name),
+                "output `{name}` diverged at cycle {cycle} of `{}` under the {backend}",
                 a.name
             );
         }
         sim_a.step();
         sim_b.step();
     }
+}
+
+/// Runs the cycle-exactness check under both simulation backends: the
+/// reference interpreter and the compiled tape.
+fn assert_cycle_exact(a: &Netlist, b: &Netlist, seed: u64, cycles: usize) {
+    assert_cycle_exact_with(a, b, seed, cycles, "interpreter", |n| {
+        Simulator::new(n).expect("netlist simulates")
+    });
+    assert_cycle_exact_with(a, b, seed, cycles, "compiled tape", |n| {
+        CompiledSim::new(n).expect("netlist compiles")
+    });
 }
 
 /// Draws a random valid netlist biased toward retimable shapes: register

@@ -35,6 +35,8 @@ pub mod pool;
 
 use lilac_ast::{ModuleKind, Program};
 use lilac_core::{check_component_with, CheckOptions, CheckReport, CompLibrary, ComponentReport};
+use lilac_ir::Netlist;
+use lilac_sim::{CompiledSim, SimBackend};
 use lilac_solver::persist::CacheLoadStatus;
 use lilac_solver::{QueryBudget, SharedCache, SolverConfig};
 use lilac_util::diag::{CheckError, CheckErrorKind, DiagnosticKind, LilacError, Severity};
@@ -114,6 +116,11 @@ pub struct ServiceStats {
     pub cache_reloads: u64,
     /// Cache images rejected and rebuilt cold.
     pub cache_quarantines: u64,
+    /// Simulation requests submitted through [`CheckService::simulate`].
+    pub sim_requests: u64,
+    /// Simulation requests rejected as malformed (unknown port name or a
+    /// netlist the compiled backend refuses).
+    pub bad_requests: u64,
 }
 
 #[derive(Default)]
@@ -128,6 +135,8 @@ struct Counters {
     failed_units: AtomicU64,
     cache_reloads: AtomicU64,
     cache_quarantines: AtomicU64,
+    sim_requests: AtomicU64,
+    bad_requests: AtomicU64,
 }
 
 /// Result of one [`CheckService::check`] request.
@@ -149,6 +158,24 @@ impl ServiceOutcome {
     pub fn is_ok(&self) -> bool {
         matches!(&self.verdict, Ok(report) if report.is_ok())
     }
+}
+
+/// A simulation request served by [`CheckService::simulate`].
+#[derive(Clone, Debug, Default)]
+pub struct SimRequest {
+    /// Per-cycle stimulus: each entry assigns input ports before that
+    /// cycle's outputs are sampled. Ports not named hold their value.
+    pub stimulus: Vec<Vec<(String, u64)>>,
+    /// Output ports sampled every cycle, after combinational settle.
+    pub sample: Vec<String>,
+}
+
+/// A trace produced by [`CheckService::simulate`]: `values[cycle][k]` is the
+/// settled value of the `k`-th sampled port at that cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimTrace {
+    /// One row per stimulus cycle, one column per sampled port.
+    pub values: Vec<Vec<u64>>,
 }
 
 /// Result of one [`CheckService::recycle_cache`] drill.
@@ -240,6 +267,8 @@ impl CheckService {
             failed_units: c.failed_units.load(Ordering::Relaxed),
             cache_reloads: c.cache_reloads.load(Ordering::Relaxed),
             cache_quarantines: c.cache_quarantines.load(Ordering::Relaxed),
+            sim_requests: c.sim_requests.load(Ordering::Relaxed),
+            bad_requests: c.bad_requests.load(Ordering::Relaxed),
         }
     }
 
@@ -321,6 +350,51 @@ impl CheckService {
         ServiceOutcome { verdict, degradations, elapsed: start.elapsed() }
     }
 
+    /// Simulates a netlist on the persistent pool through the compiled
+    /// [`SimBackend`].
+    ///
+    /// Every port access goes through the fallible `try_` surface, so a
+    /// request naming a port the module does not have comes back as a
+    /// structured [`CheckErrorKind::BadRequest`] error — one rejected
+    /// response, not a poisoned worker. Genuine backend panics are still
+    /// contained by `catch_unwind`, exactly like check units.
+    ///
+    /// # Errors
+    ///
+    /// `BadRequest` for an unknown port or a netlist the compiled backend
+    /// rejects; `WorkerPanic` if the backend panics.
+    pub fn simulate(
+        &self,
+        netlist: &Netlist,
+        request: &SimRequest,
+    ) -> Result<SimTrace, CheckError> {
+        self.counters.sim_requests.fetch_add(1, Ordering::Relaxed);
+        let netlist = Arc::new(netlist.clone());
+        let request = request.clone();
+        let (tx, rx) = mpsc::channel::<Result<SimTrace, CheckError>>();
+        self.pool.submit(Box::new(move || {
+            PANIC_QUIET.with(|quiet| quiet.set(true));
+            let result = catch_unwind(AssertUnwindSafe(|| run_sim_unit(&netlist, &request)));
+            PANIC_QUIET.with(|quiet| quiet.set(false));
+            let outcome = result.unwrap_or_else(|payload| {
+                Err(CheckError::new(
+                    CheckErrorKind::WorkerPanic,
+                    Severity::Transient,
+                    WorkerPanic::from_payload(&*payload).message,
+                )
+                .for_component(netlist.name.as_str()))
+            });
+            // The receiver only disappears if the requester's thread
+            // panicked; dropping the result is then correct.
+            let _ = tx.send(outcome);
+        }));
+        let outcome = rx.recv().expect("sim unit reports exactly once");
+        if matches!(&outcome, Err(e) if e.kind == CheckErrorKind::BadRequest) {
+            self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
     /// Crash-recovery drill: serialize the live cache, optionally let the
     /// fault plan corrupt the image, and reload it. A valid image replaces
     /// the live cache (a no-op in content); a rejected image rebuilds the
@@ -359,6 +433,30 @@ impl CheckService {
         let cache = self.shared.lock().expect("cache handle poisoned").clone();
         cache.save(path).map(Some)
     }
+}
+
+/// Runs one simulation request start to finish. Unknown ports surface as
+/// structured `BadRequest` errors through the fallible [`SimBackend`]
+/// surface; nothing in here panics on malformed input.
+fn run_sim_unit(netlist: &Netlist, request: &SimRequest) -> Result<SimTrace, CheckError> {
+    let bad = |detail: String| {
+        CheckError::new(CheckErrorKind::BadRequest, Severity::Recoverable, detail)
+            .for_component(netlist.name.as_str())
+    };
+    let mut backend = CompiledSim::new(netlist).map_err(&bad)?;
+    let mut values = Vec::with_capacity(request.stimulus.len());
+    for assignments in &request.stimulus {
+        for (port, value) in assignments {
+            backend.try_set_input(port, *value).map_err(|e| bad(e.to_string()))?;
+        }
+        let mut row = Vec::with_capacity(request.sample.len());
+        for name in &request.sample {
+            row.push(backend.try_output(name).map_err(|e| bad(e.to_string()))?);
+        }
+        values.push(row);
+        backend.step();
+    }
+    Ok(SimTrace { values })
 }
 
 /// Everything one pool unit needs, moved into its job closure.
@@ -660,6 +758,69 @@ mod tests {
         assert_eq!(recycle.corrupted, None);
         assert_eq!(recycle.outcome, Ok(before));
         assert_eq!(service.cache_entries(), before);
+    }
+
+    #[test]
+    fn simulate_matches_interpreter_trace() {
+        use lilac_ir::NodeKind;
+        let service = CheckService::new(quiet_config(1));
+        let mut n = Netlist::new("svc_sim");
+        let a = n.add_input("a", 8);
+        let b = n.add_input("b", 8);
+        let sum = n.add_node(NodeKind::Add, vec![a, b], 8, "sum");
+        let reg = n.add_node(NodeKind::Reg, vec![sum], 8, "lag");
+        n.add_output("sum", sum);
+        n.add_output("lag", reg);
+        let request = SimRequest {
+            stimulus: (0..8u64)
+                .map(|c| vec![("a".to_string(), 3 * c + 1), ("b".to_string(), 5 * c)])
+                .collect(),
+            sample: vec!["sum".to_string(), "lag".to_string()],
+        };
+        let trace = service.simulate(&n, &request).expect("well-formed request simulates");
+        let mut sim = lilac_sim::Simulator::new(&n).expect("netlist is valid");
+        for (cycle, assignments) in request.stimulus.iter().enumerate() {
+            for (port, value) in assignments {
+                sim.set_input(port, *value);
+            }
+            assert_eq!(trace.values[cycle], vec![sim.peek("sum"), sim.peek("lag")]);
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn bad_sim_requests_degrade_without_poisoning_workers() {
+        use lilac_ir::NodeKind;
+        // One worker: if a bad request poisoned it, nothing else would run.
+        let service = CheckService::new(quiet_config(1));
+        let mut n = Netlist::new("svc_bad");
+        let a = n.add_input("a", 4);
+        let inv = n.add_node(NodeKind::Not, vec![a], 4, "inv");
+        n.add_output("o", inv);
+        let good = SimRequest {
+            stimulus: vec![vec![("a".to_string(), 5)]],
+            sample: vec!["o".to_string()],
+        };
+        let bad_input = SimRequest {
+            stimulus: vec![vec![("nope".to_string(), 1)]],
+            sample: vec!["o".to_string()],
+        };
+        let bad_output = SimRequest { stimulus: vec![vec![]], sample: vec!["missing".to_string()] };
+        let err = service.simulate(&n, &bad_input).expect_err("unknown input is rejected");
+        assert_eq!(err.kind, CheckErrorKind::BadRequest);
+        assert_eq!(err.severity, Severity::Recoverable);
+        assert!(err.to_string().contains("no input named `nope`"), "{err}");
+        let err = service.simulate(&n, &bad_output).expect_err("unknown output is rejected");
+        assert_eq!(err.kind, CheckErrorKind::BadRequest);
+        assert!(err.to_string().contains("no output named `missing`"), "{err}");
+        // The same worker keeps serving — both simulation and check traffic.
+        let trace = service.simulate(&n, &good).expect("worker survived the bad requests");
+        assert_eq!(trace.values, vec![vec![0xA]]);
+        let program = Design::Gbp.program().expect("GBP parses");
+        assert!(service.check(&program).is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.sim_requests, 3);
+        assert_eq!(stats.bad_requests, 2);
     }
 
     #[test]

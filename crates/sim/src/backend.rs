@@ -1,0 +1,145 @@
+//! The unified simulation-backend API.
+//!
+//! Three engines simulate elaborated designs in this reproduction: the
+//! reference interpreter ([`Simulator`](crate::Simulator)), the compiled
+//! bit-parallel tape ([`CompiledSim`](crate::CompiledSim)), and the Verilog
+//! evaluator in `lilac-vsim`. They share one driving contract, [`SimBackend`]:
+//! apply inputs, advance the clock, read outputs. Differential harnesses
+//! (the fuzz drive loop, the optimizer/retiming equivalence suites) are
+//! generic over this trait, so every engine is exercised by the same code
+//! path instead of a per-oracle copy of the loop.
+//!
+//! Port lookups come in two flavours. `try_set_input` / `try_output` return
+//! a structured [`PortError`] naming the module, the direction, the missing
+//! port, and the ports that *do* exist — services surface these as request
+//! errors instead of dying. The panicking `set_input` / `output` are thin
+//! wrappers over the fallible forms for test and harness code where an
+//! unknown port is a bug.
+
+/// Which side of the module a failed port lookup was on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortDir {
+    /// An input port (driven by `set_input`).
+    Input,
+    /// An output port (read by `output`).
+    Output,
+}
+
+impl PortDir {
+    fn noun(self) -> &'static str {
+        match self {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        }
+    }
+}
+
+/// Structured diagnostic for a port lookup that named no existing port.
+///
+/// Carries enough context to render an actionable message: the module, the
+/// direction searched, the name that missed, and the ports that exist on
+/// that side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortError {
+    /// Name of the module (netlist or design) the lookup ran against.
+    pub module: String,
+    /// Side of the module that was searched.
+    pub dir: PortDir,
+    /// The port name that did not resolve.
+    pub port: String,
+    /// Every port that exists on that side, in declaration order.
+    pub available: Vec<String>,
+}
+
+impl PortError {
+    /// Builds a diagnostic for a missed lookup of `port` among `available`.
+    pub fn new(module: &str, dir: PortDir, port: &str, available: Vec<String>) -> PortError {
+        PortError { module: module.to_string(), dir, port: port.to_string(), available }
+    }
+}
+
+impl std::fmt::Display for PortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no {} named `{}` in `{}`", self.dir.noun(), self.port, self.module)?;
+        if self.available.is_empty() {
+            write!(f, " (it has none)")
+        } else {
+            write!(f, " (available: {})", self.available.join(", "))
+        }
+    }
+}
+
+impl std::error::Error for PortError {}
+
+/// A cycle-accurate simulation engine driven port-by-port.
+///
+/// Semantics shared by every implementor:
+///
+/// * Inputs persist until overwritten; `set_input` masks the value to the
+///   port's declared width.
+/// * `output` settles combinational logic for the current cycle before
+///   reading, so it is always consistent with the inputs applied so far.
+/// * `step` evaluates the cycle and advances every sequential element by
+///   one clock edge.
+/// * `reset` returns to the zero power-up state (all registers, delay
+///   lines and pipeline stages zero, cycle count zero), matching a fresh
+///   construction.
+pub trait SimBackend {
+    /// Sets a named input for the upcoming cycle, masked to its width.
+    fn try_set_input(&mut self, name: &str, value: u64) -> Result<(), PortError>;
+
+    /// Settles combinational logic and reads a named output.
+    fn try_output(&mut self, name: &str) -> Result<u64, PortError>;
+
+    /// Advances the simulation by one clock edge.
+    fn step(&mut self);
+
+    /// Returns to the zero power-up state with a cycle count of zero.
+    fn reset(&mut self);
+
+    /// Number of `step` calls since construction or the last `reset`.
+    fn cycle(&self) -> u64;
+
+    /// Input port names in declaration order.
+    fn input_names(&self) -> Vec<String>;
+
+    /// Output port names in declaration order.
+    fn output_names(&self) -> Vec<String>;
+
+    /// Panicking wrapper over [`try_set_input`](Self::try_set_input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input does not exist.
+    fn set_input(&mut self, name: &str, value: u64) {
+        if let Err(e) = self.try_set_input(name, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Panicking wrapper over [`try_output`](Self::try_output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output does not exist.
+    fn output(&mut self, name: &str) -> u64 {
+        match self.try_output(name) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_error_renders_direction_and_candidates() {
+        let e =
+            PortError::new("fpu", PortDir::Input, "oops", vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(format!("{e}"), "no input named `oops` in `fpu` (available: a, b)");
+        let e = PortError::new("fpu", PortDir::Output, "r", vec![]);
+        assert_eq!(format!("{e}"), "no output named `r` in `fpu` (it has none)");
+    }
+}

@@ -1,0 +1,1129 @@
+//! Compiled bit-parallel simulation.
+//!
+//! [`CompiledSim`] compiles a [`Netlist`] once into a flat, topologically
+//! scheduled instruction tape and then evaluates **64 independent test
+//! vectors per pass** — one vector per bit lane of a `u64`.
+//!
+//! # Tape format
+//!
+//! Compilation resolves every operand to a dense *slot*:
+//!
+//! * width-1 nets are **bitsliced**: one `u64` holds all 64 lanes, lane `k`
+//!   at bit `k`, so a whole AND/OR/XOR/NOT/MUX over 1-bit nets is a single
+//!   bitwise machine op for all lanes at once;
+//! * wider nets are **word-per-lane**: 64 consecutive `u64`s per slot
+//!   (structure-of-arrays), so per-lane loops run over contiguous memory.
+//!
+//! The tape holds one instruction per combinational node in topological
+//! order, with operand slots, widths and masks resolved at compile time —
+//! no name lookups, no `VecDeque`s, no per-node dispatch through the
+//! netlist. Register, delay-line and pipeline state lives in flat ring
+//! buffers (`depth` entries per node, each entry holding all 64 lanes);
+//! a clock edge writes one ring entry and bumps a head index instead of
+//! shifting.
+//!
+//! Evaluation order per cycle matches the interpreter exactly: sequential
+//! nodes expose their current ring front, combinational instructions run in
+//! topo order, and `step` captures next-state from this cycle's operand
+//! values. Every value written anywhere is masked to its node's declared
+//! width, the same `lilac_ir::mask` contract the interpreter and the
+//! Verilog backend share.
+//!
+//! # Lanes
+//!
+//! A lane is a completely independent simulation of the same netlist:
+//! inputs are set per lane ([`set_input_lane`](CompiledSim::set_input_lane))
+//! or broadcast to all lanes ([`SimBackend::set_input`]), and outputs are
+//! read per lane. [`set_active`](CompiledSim::set_active) records how many
+//! lanes carry real vectors when a batch does not fill all 64; inactive
+//! lanes still compute (on whatever inputs they hold) but are excluded from
+//! the aggregate readers. Under the [`SimBackend`] trait the engine behaves
+//! as a single-stream simulator: writes broadcast, reads come from lane 0.
+
+use crate::backend::{PortDir, PortError, SimBackend};
+use lilac_ir::{mask, pipe_value, Netlist, NodeKind, PipeOp};
+
+/// Number of independent simulation lanes evaluated per pass.
+pub const LANES: usize = 64;
+
+/// Where a node's current-cycle value lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    /// Index into the bitsliced pool: one `u64`, lane `k` at bit `k`.
+    Bit(u32),
+    /// Base index into the word pool: 64 consecutive `u64`s, lane `k` at
+    /// `base + k`.
+    Word(u32),
+}
+
+/// Ring-buffer storage for one sequential node's state (matches the repr of
+/// the node's value slot).
+#[derive(Clone, Copy, Debug)]
+enum Ring {
+    /// `depth` entries in the bitsliced state pool.
+    Bit(u32),
+    /// `depth * 64` entries in the word state pool (stride 64 per entry).
+    Word(u32),
+}
+
+/// Bitsliced binary ops: all operands and the destination are width-1, so
+/// one bitwise op covers all 64 lanes.
+#[derive(Clone, Copy, Debug)]
+enum BitOp {
+    /// `a & b` — And, and 1-bit Mul.
+    And,
+    /// `a | b`.
+    Or,
+    /// `a ^ b` — Xor, and 1-bit Add/Sub (the carry/borrow is masked off).
+    Xor,
+    /// `!(a ^ b)` — 1-bit Eq.
+    Nxor,
+    /// `!a & b` — 1-bit Lt.
+    AndNot,
+}
+
+/// Per-lane binary ops over the generic slot accessors.
+#[derive(Clone, Copy, Debug)]
+enum LaneOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Eq,
+    Lt,
+}
+
+/// Variadic gather instructions.
+#[derive(Clone, Copy, Debug)]
+enum GatherKind {
+    /// Msb-first concatenation using the recorded operand widths.
+    Concat,
+    /// A latency-0 pipelined core, evaluated through `pipe_value`.
+    Pipe(PipeOp),
+}
+
+/// One step of the compiled tape. All operand/destination indices are
+/// resolved slots; `m` is the destination's width mask.
+#[derive(Clone, Copy, Debug)]
+enum Instr {
+    /// Bitsliced binary op (64 lanes in one machine op).
+    Bit2 { op: BitOp, d: u32, a: u32, b: u32 },
+    /// Bitsliced NOT.
+    BitNot { d: u32, a: u32 },
+    /// Bitsliced mux: `(s & a) | (!s & b)`.
+    BitMux { d: u32, s: u32, a: u32, b: u32 },
+    /// Per-lane binary op.
+    Lane2 { op: LaneOp, d: Slot, a: Slot, b: Slot, m: u64 },
+    /// Per-lane NOT.
+    LaneNot { d: Slot, a: Slot, m: u64 },
+    /// Per-lane mux (`sel != 0` selects `a`).
+    LaneMux { d: Slot, s: Slot, a: Slot, b: Slot, m: u64 },
+    /// Per-lane right shift (Slice).
+    LaneShr { d: Slot, a: Slot, lo: u32, m: u64 },
+    /// Per-lane copy (`Delay(0)` passthrough).
+    LaneCopy { d: Slot, a: Slot, m: u64 },
+    /// Variadic op over `gather[lo..lo+len]`.
+    Gather { kind: GatherKind, d: Slot, lo: u32, len: u32, m: u64 },
+}
+
+/// How a sequential node computes its next state on a clock edge.
+#[derive(Clone, Copy, Debug)]
+enum SeqKind {
+    /// Unconditional capture of the data operand.
+    Reg { src: Slot },
+    /// Capture when the per-lane enable is nonzero; hold otherwise.
+    RegEn { src: Slot, en: Slot },
+    /// A latency-`depth` pipelined core over `gather[lo..lo+len]`.
+    Pipe { op: PipeOp, lo: u32, len: u32 },
+}
+
+/// Compile-time record for one sequential node.
+#[derive(Clone, Copy, Debug)]
+struct SeqNode {
+    kind: SeqKind,
+    /// The node's value slot, loaded from the ring front each cycle.
+    d: Slot,
+    ring: Ring,
+    depth: u32,
+    /// Destination width mask.
+    m: u64,
+}
+
+/// A netlist compiled to a bit-parallel instruction tape: 64 independent
+/// test vectors advance per pass. See the module docs for the tape format
+/// and the [`SimBackend`] impl for single-stream use.
+#[derive(Clone, Debug)]
+pub struct CompiledSim {
+    name: String,
+    /// (name, slot, width) per input, declaration order.
+    inputs: Vec<(String, Slot, u32)>,
+    /// (name, slot) per output, declaration order.
+    outputs: Vec<(String, Slot)>,
+    /// (value, slot, width) per constant node, replayed on `reset`.
+    consts: Vec<(u64, Slot, u32)>,
+    tape: Vec<Instr>,
+    /// Operand pool for `Gather` instructions: (slot, operand width).
+    gather: Vec<(Slot, u32)>,
+    seq: Vec<SeqNode>,
+    /// Ring head per sequential node (parallel to `seq`).
+    heads: Vec<u32>,
+    /// Bitsliced value slots: one u64 each, all 64 lanes.
+    bits: Vec<u64>,
+    /// Word value slots: 64 u64s each (lane-major).
+    words: Vec<u64>,
+    /// Bitsliced sequential state.
+    state_bits: Vec<u64>,
+    /// Word sequential state (64 u64s per ring entry).
+    state_words: Vec<u64>,
+    active: usize,
+    cycle: u64,
+    dirty: bool,
+}
+
+#[inline(always)]
+fn get(bits: &[u64], words: &[u64], s: Slot, lane: usize) -> u64 {
+    match s {
+        Slot::Bit(i) => (bits[i as usize] >> lane) & 1,
+        Slot::Word(b) => words[b as usize + lane],
+    }
+}
+
+impl CompiledSim {
+    /// Compiles `netlist` into an instruction tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist fails validation or contains a
+    /// combinational cycle — the same conditions the interpreter rejects.
+    pub fn new(netlist: &Netlist) -> Result<CompiledSim, String> {
+        netlist.validate()?;
+        let order = netlist
+            .combinational_order()
+            .ok_or_else(|| format!("netlist `{}` has a combinational cycle", netlist.name))?;
+
+        // Pass 1: assign every node a slot by width, and sequential nodes a
+        // ring by depth.
+        let mut slots = Vec::with_capacity(netlist.node_count());
+        let mut rings: Vec<Option<(Ring, u32)>> = Vec::with_capacity(netlist.node_count());
+        let (mut n_bits, mut n_words) = (0u32, 0u32);
+        let (mut n_sbits, mut n_swords) = (0u32, 0u32);
+        for (_, node) in netlist.iter() {
+            let slot = if node.width == 1 {
+                let s = Slot::Bit(n_bits);
+                n_bits += 1;
+                s
+            } else {
+                let s = Slot::Word(n_words);
+                n_words += 64;
+                s
+            };
+            slots.push(slot);
+            let depth = node.kind.pipeline_depth();
+            rings.push(if depth == 0 {
+                None
+            } else if node.width == 1 {
+                let r = Ring::Bit(n_sbits);
+                n_sbits += depth;
+                Some((r, depth))
+            } else {
+                let r = Ring::Word(n_swords);
+                n_swords += depth * 64;
+                Some((r, depth))
+            });
+        }
+        let slot_of = |id: lilac_ir::NodeId| slots[id.0 as usize];
+
+        // Pass 2: emit the tape in topological order and the sequential
+        // update records.
+        let mut tape = Vec::new();
+        let mut gather: Vec<(Slot, u32)> = Vec::new();
+        let mut seq = Vec::new();
+        let mut consts = Vec::new();
+        let all_bit = |node: &lilac_ir::Node, netlist: &Netlist| {
+            node.width == 1 && node.inputs.iter().all(|&i| netlist.node(i).width == 1)
+        };
+        let push_gather = |gather: &mut Vec<(Slot, u32)>, node: &lilac_ir::Node| {
+            let lo = gather.len() as u32;
+            for &i in &node.inputs {
+                gather.push((slot_of(i), netlist.node(i).width));
+            }
+            (lo, node.inputs.len() as u32)
+        };
+        for &id in &order {
+            let node = netlist.node(id);
+            let d = slot_of(id);
+            let m = mask(u64::MAX, node.width);
+            let s = |k: usize| slot_of(node.inputs[k]);
+            let bit = |k: usize| match slot_of(node.inputs[k]) {
+                Slot::Bit(i) => i,
+                Slot::Word(_) => unreachable!("all-bit node has bit operands"),
+            };
+            let dbit = || match d {
+                Slot::Bit(i) => i,
+                Slot::Word(_) => unreachable!("all-bit node has a bit destination"),
+            };
+            let ins = match &node.kind {
+                // Inputs persist in their slots between tape runs; constants
+                // are filled at construction and on reset.
+                NodeKind::Input(_) => continue,
+                NodeKind::Const(c) => {
+                    consts.push((mask(*c, node.width), d, node.width));
+                    continue;
+                }
+                // Sequential nodes: their slot is loaded from the ring
+                // front before the tape runs; the edge update is recorded
+                // below.
+                NodeKind::Reg => {
+                    let (ring, depth) = rings[id.0 as usize].expect("reg has a ring");
+                    seq.push(SeqNode { kind: SeqKind::Reg { src: s(0) }, d, ring, depth, m });
+                    continue;
+                }
+                NodeKind::RegEn => {
+                    let (ring, depth) = rings[id.0 as usize].expect("regen has a ring");
+                    seq.push(SeqNode {
+                        kind: SeqKind::RegEn { src: s(0), en: s(1) },
+                        d,
+                        ring,
+                        depth,
+                        m,
+                    });
+                    continue;
+                }
+                NodeKind::Delay(n) if *n > 0 => {
+                    let (ring, depth) = rings[id.0 as usize].expect("delay has a ring");
+                    seq.push(SeqNode { kind: SeqKind::Reg { src: s(0) }, d, ring, depth, m });
+                    continue;
+                }
+                NodeKind::PipelinedOp { op, latency, .. } if *latency > 0 => {
+                    let (ring, depth) = rings[id.0 as usize].expect("core has a ring");
+                    let (lo, len) = push_gather(&mut gather, node);
+                    seq.push(SeqNode {
+                        kind: SeqKind::Pipe { op: *op, lo, len },
+                        d,
+                        ring,
+                        depth,
+                        m,
+                    });
+                    continue;
+                }
+                // Combinational nodes: pick the bitsliced fast path when
+                // every operand and the destination are width 1.
+                NodeKind::And if all_bit(node, netlist) => {
+                    Instr::Bit2 { op: BitOp::And, d: dbit(), a: bit(0), b: bit(1) }
+                }
+                NodeKind::Mul if all_bit(node, netlist) => {
+                    Instr::Bit2 { op: BitOp::And, d: dbit(), a: bit(0), b: bit(1) }
+                }
+                NodeKind::Or if all_bit(node, netlist) => {
+                    Instr::Bit2 { op: BitOp::Or, d: dbit(), a: bit(0), b: bit(1) }
+                }
+                NodeKind::Xor | NodeKind::Add | NodeKind::Sub if all_bit(node, netlist) => {
+                    Instr::Bit2 { op: BitOp::Xor, d: dbit(), a: bit(0), b: bit(1) }
+                }
+                NodeKind::Eq if all_bit(node, netlist) => {
+                    Instr::Bit2 { op: BitOp::Nxor, d: dbit(), a: bit(0), b: bit(1) }
+                }
+                NodeKind::Lt if all_bit(node, netlist) => {
+                    Instr::Bit2 { op: BitOp::AndNot, d: dbit(), a: bit(0), b: bit(1) }
+                }
+                NodeKind::Not if all_bit(node, netlist) => Instr::BitNot { d: dbit(), a: bit(0) },
+                NodeKind::Mux if all_bit(node, netlist) => {
+                    Instr::BitMux { d: dbit(), s: bit(0), a: bit(1), b: bit(2) }
+                }
+                // Generic per-lane forms for every other width mix.
+                NodeKind::Add => Instr::Lane2 { op: LaneOp::Add, d, a: s(0), b: s(1), m },
+                NodeKind::Sub => Instr::Lane2 { op: LaneOp::Sub, d, a: s(0), b: s(1), m },
+                NodeKind::Mul => Instr::Lane2 { op: LaneOp::Mul, d, a: s(0), b: s(1), m },
+                NodeKind::And => Instr::Lane2 { op: LaneOp::And, d, a: s(0), b: s(1), m },
+                NodeKind::Or => Instr::Lane2 { op: LaneOp::Or, d, a: s(0), b: s(1), m },
+                NodeKind::Xor => Instr::Lane2 { op: LaneOp::Xor, d, a: s(0), b: s(1), m },
+                NodeKind::Eq => Instr::Lane2 { op: LaneOp::Eq, d, a: s(0), b: s(1), m },
+                NodeKind::Lt => Instr::Lane2 { op: LaneOp::Lt, d, a: s(0), b: s(1), m },
+                NodeKind::Not => Instr::LaneNot { d, a: s(0), m },
+                NodeKind::Mux => Instr::LaneMux { d, s: s(0), a: s(1), b: s(2), m },
+                NodeKind::Slice { lo } => Instr::LaneShr { d, a: s(0), lo: *lo, m },
+                NodeKind::Delay(_) => Instr::LaneCopy { d, a: s(0), m },
+                NodeKind::Concat => {
+                    let (lo, len) = push_gather(&mut gather, node);
+                    Instr::Gather { kind: GatherKind::Concat, d, lo, len, m }
+                }
+                NodeKind::PipelinedOp { op, .. } => {
+                    let (lo, len) = push_gather(&mut gather, node);
+                    Instr::Gather { kind: GatherKind::Pipe(*op), d, lo, len, m }
+                }
+            };
+            tape.push(ins);
+        }
+
+        let inputs = netlist
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let id = netlist
+                    .iter()
+                    .find(|(_, n)| matches!(n.kind, NodeKind::Input(k) if k == i))
+                    .map(|(id, _)| id)
+                    .expect("validated netlist has a node per input port");
+                (p.name.clone(), slot_of(id), p.width)
+            })
+            .collect();
+        let outputs =
+            netlist.outputs.iter().map(|(p, id)| (p.name.clone(), slot_of(*id))).collect();
+
+        let heads = vec![0u32; seq.len()];
+        let mut sim = CompiledSim {
+            name: netlist.name.clone(),
+            inputs,
+            outputs,
+            consts,
+            tape,
+            gather,
+            seq,
+            heads,
+            bits: vec![0; n_bits as usize],
+            words: vec![0; n_words as usize],
+            state_bits: vec![0; n_sbits as usize],
+            state_words: vec![0; n_swords as usize],
+            active: LANES,
+            cycle: 0,
+            dirty: true,
+        };
+        sim.fill_consts();
+        Ok(sim)
+    }
+
+    fn fill_consts(&mut self) {
+        for &(value, d, _) in &self.consts {
+            match d {
+                Slot::Bit(i) => self.bits[i as usize] = if value & 1 != 0 { u64::MAX } else { 0 },
+                Slot::Word(b) => self.words[b as usize..b as usize + LANES].fill(value),
+            }
+        }
+    }
+
+    /// Number of independent lanes (always [`LANES`]).
+    pub fn lane_count(&self) -> usize {
+        LANES
+    }
+
+    /// Marks the first `n` lanes (1..=64) as carrying real vectors.
+    ///
+    /// This only affects aggregate readers like
+    /// [`output_lanes`](Self::output_lanes); every lane always computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds [`LANES`].
+    pub fn set_active(&mut self, n: usize) {
+        assert!((1..=LANES).contains(&n), "active lane count {n} out of range 1..={LANES}");
+        self.active = n;
+    }
+
+    /// Number of active lanes (defaults to all 64).
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Sets one lane of a named input, masked to the port width.
+    pub fn try_set_input_lane(
+        &mut self,
+        lane: usize,
+        name: &str,
+        value: u64,
+    ) -> Result<(), PortError> {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let (slot, width) = self.input_slot(name)?;
+        let v = mask(value, width);
+        match slot {
+            Slot::Bit(i) => {
+                let b = &mut self.bits[i as usize];
+                *b = (*b & !(1u64 << lane)) | (v << lane);
+            }
+            Slot::Word(base) => self.words[base as usize + lane] = v,
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`try_set_input_lane`](Self::try_set_input_lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input does not exist or the lane is out of range.
+    pub fn set_input_lane(&mut self, lane: usize, name: &str, value: u64) {
+        if let Err(e) = self.try_set_input_lane(lane, name, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Settles the current cycle and reads one lane of a named output.
+    pub fn try_output_lane(&mut self, lane: usize, name: &str) -> Result<u64, PortError> {
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.settle();
+        let slot = self.output_slot(name)?;
+        Ok(get(&self.bits, &self.words, slot, lane))
+    }
+
+    /// Panicking wrapper over [`try_output_lane`](Self::try_output_lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output does not exist or the lane is out of range.
+    pub fn output_lane(&mut self, lane: usize, name: &str) -> u64 {
+        match self.try_output_lane(lane, name) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Settles the current cycle and reads a named output across all
+    /// *active* lanes (lane 0 first).
+    pub fn output_lanes(&mut self, name: &str) -> Vec<u64> {
+        self.settle();
+        let slot = match self.output_slot(name) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        };
+        (0..self.active).map(|lane| get(&self.bits, &self.words, slot, lane)).collect()
+    }
+
+    fn input_slot(&self, name: &str) -> Result<(Slot, u32), PortError> {
+        self.inputs.iter().find(|(n, _, _)| n == name).map(|&(_, s, w)| (s, w)).ok_or_else(|| {
+            PortError::new(
+                &self.name,
+                PortDir::Input,
+                name,
+                self.inputs.iter().map(|(n, _, _)| n.clone()).collect(),
+            )
+        })
+    }
+
+    fn output_slot(&self, name: &str) -> Result<Slot, PortError> {
+        self.outputs.iter().find(|(n, _)| n == name).map(|&(_, s)| s).ok_or_else(|| {
+            PortError::new(
+                &self.name,
+                PortDir::Output,
+                name,
+                self.outputs.iter().map(|(n, _)| n.clone()).collect(),
+            )
+        })
+    }
+
+    /// Loads sequential ring fronts into their slots and runs the tape.
+    /// Idempotent between state changes (guarded by a dirty flag).
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        // Sequential nodes expose their current ring front.
+        for (k, s) in self.seq.iter().enumerate() {
+            let head = self.heads[k];
+            match (s.ring, s.d) {
+                (Ring::Bit(base), Slot::Bit(i)) => {
+                    self.bits[i as usize] = self.state_bits[(base + head) as usize];
+                }
+                (Ring::Word(base), Slot::Word(w)) => {
+                    let src = (base + head * LANES as u32) as usize;
+                    let dst = w as usize;
+                    self.words[dst..dst + LANES]
+                        .copy_from_slice(&self.state_words[src..src + LANES]);
+                }
+                _ => unreachable!("ring repr matches slot repr"),
+            }
+        }
+        // Run the tape.
+        for i in 0..self.tape.len() {
+            let ins = self.tape[i];
+            match ins {
+                Instr::Bit2 { op, d, a, b } => {
+                    let (x, y) = (self.bits[a as usize], self.bits[b as usize]);
+                    self.bits[d as usize] = match op {
+                        BitOp::And => x & y,
+                        BitOp::Or => x | y,
+                        BitOp::Xor => x ^ y,
+                        BitOp::Nxor => !(x ^ y),
+                        BitOp::AndNot => !x & y,
+                    };
+                }
+                Instr::BitNot { d, a } => self.bits[d as usize] = !self.bits[a as usize],
+                Instr::BitMux { d, s, a, b } => {
+                    let sel = self.bits[s as usize];
+                    self.bits[d as usize] =
+                        (sel & self.bits[a as usize]) | (!sel & self.bits[b as usize]);
+                }
+                Instr::Lane2 { op, d, a, b, m } => {
+                    let mut out = [0u64; LANES];
+                    for (lane, o) in out.iter_mut().enumerate() {
+                        let x = get(&self.bits, &self.words, a, lane);
+                        let y = get(&self.bits, &self.words, b, lane);
+                        *o = match op {
+                            LaneOp::Add => x.wrapping_add(y),
+                            LaneOp::Sub => x.wrapping_sub(y),
+                            LaneOp::Mul => x.wrapping_mul(y),
+                            LaneOp::And => x & y,
+                            LaneOp::Or => x | y,
+                            LaneOp::Xor => x ^ y,
+                            LaneOp::Eq => (x == y) as u64,
+                            LaneOp::Lt => (x < y) as u64,
+                        } & m;
+                    }
+                    self.store(d, &out);
+                }
+                Instr::LaneNot { d, a, m } => {
+                    let mut out = [0u64; LANES];
+                    for (lane, o) in out.iter_mut().enumerate() {
+                        *o = !get(&self.bits, &self.words, a, lane) & m;
+                    }
+                    self.store(d, &out);
+                }
+                Instr::LaneMux { d, s, a, b, m } => {
+                    let mut out = [0u64; LANES];
+                    for (lane, o) in out.iter_mut().enumerate() {
+                        let sel = get(&self.bits, &self.words, s, lane);
+                        let v = if sel != 0 {
+                            get(&self.bits, &self.words, a, lane)
+                        } else {
+                            get(&self.bits, &self.words, b, lane)
+                        };
+                        *o = v & m;
+                    }
+                    self.store(d, &out);
+                }
+                Instr::LaneShr { d, a, lo, m } => {
+                    let mut out = [0u64; LANES];
+                    for (lane, o) in out.iter_mut().enumerate() {
+                        *o = (get(&self.bits, &self.words, a, lane) >> lo) & m;
+                    }
+                    self.store(d, &out);
+                }
+                Instr::LaneCopy { d, a, m } => {
+                    let mut out = [0u64; LANES];
+                    for (lane, o) in out.iter_mut().enumerate() {
+                        *o = get(&self.bits, &self.words, a, lane) & m;
+                    }
+                    self.store(d, &out);
+                }
+                Instr::Gather { kind, d, lo, len, m } => {
+                    let mut out = [0u64; LANES];
+                    for (lane, o) in out.iter_mut().enumerate() {
+                        *o = self.eval_gather(kind, lo, len, lane) & m;
+                    }
+                    self.store(d, &out);
+                }
+            }
+        }
+    }
+
+    fn eval_gather(&self, kind: GatherKind, lo: u32, len: u32, lane: usize) -> u64 {
+        let ops = &self.gather[lo as usize..(lo + len) as usize];
+        match kind {
+            GatherKind::Concat => {
+                let mut acc = 0u64;
+                for &(slot, w) in ops {
+                    acc = (acc << w) | get(&self.bits, &self.words, slot, lane);
+                }
+                acc
+            }
+            GatherKind::Pipe(op) => {
+                let mut buf = [0u64; 16];
+                if ops.len() <= buf.len() {
+                    for (slot, o) in ops.iter().zip(buf.iter_mut()) {
+                        *o = get(&self.bits, &self.words, slot.0, lane);
+                    }
+                    pipe_value(op, &buf[..ops.len()])
+                } else {
+                    let vals: Vec<u64> = ops
+                        .iter()
+                        .map(|&(slot, _)| get(&self.bits, &self.words, slot, lane))
+                        .collect();
+                    pipe_value(op, &vals)
+                }
+            }
+        }
+    }
+
+    fn store(&mut self, d: Slot, out: &[u64; LANES]) {
+        match d {
+            Slot::Bit(i) => {
+                let mut acc = 0u64;
+                for (lane, &v) in out.iter().enumerate() {
+                    acc |= (v & 1) << lane;
+                }
+                self.bits[i as usize] = acc;
+            }
+            Slot::Word(base) => {
+                self.words[base as usize..base as usize + LANES].copy_from_slice(out);
+            }
+        }
+    }
+
+    /// Evaluates the cycle, then advances every sequential element by one
+    /// clock edge in all lanes.
+    pub fn step(&mut self) {
+        self.settle();
+        for k in 0..self.seq.len() {
+            let s = self.seq[k];
+            let head = self.heads[k];
+            match s.kind {
+                SeqKind::Reg { src } => match (s.ring, src) {
+                    // Width-1 destination with a width-1 operand: all lanes
+                    // captured in one store.
+                    (Ring::Bit(base), Slot::Bit(a)) => {
+                        self.state_bits[(base + head) as usize] = self.bits[a as usize];
+                    }
+                    (Ring::Bit(base), a @ Slot::Word(_)) => {
+                        let mut acc = 0u64;
+                        for lane in 0..LANES {
+                            acc |= (get(&self.bits, &self.words, a, lane) & 1) << lane;
+                        }
+                        self.state_bits[(base + head) as usize] = acc;
+                    }
+                    (Ring::Word(base), a) => {
+                        let dst = (base + head * LANES as u32) as usize;
+                        for lane in 0..LANES {
+                            self.state_words[dst + lane] =
+                                get(&self.bits, &self.words, a, lane) & s.m;
+                        }
+                    }
+                },
+                SeqKind::RegEn { src, en } => match (s.ring, src, en) {
+                    // All-bitsliced: captured lanes take the operand, held
+                    // lanes keep their state — one masked merge.
+                    (Ring::Bit(base), Slot::Bit(a), Slot::Bit(e)) => {
+                        let idx = (base + head) as usize;
+                        let (d, e) = (self.bits[a as usize], self.bits[e as usize]);
+                        self.state_bits[idx] = (d & e) | (self.state_bits[idx] & !e);
+                    }
+                    (Ring::Bit(base), a, e) => {
+                        let idx = (base + head) as usize;
+                        let mut acc = self.state_bits[idx];
+                        for lane in 0..LANES {
+                            if get(&self.bits, &self.words, e, lane) != 0 {
+                                let v = get(&self.bits, &self.words, a, lane) & 1;
+                                acc = (acc & !(1u64 << lane)) | (v << lane);
+                            }
+                        }
+                        self.state_bits[idx] = acc;
+                    }
+                    (Ring::Word(base), a, e) => {
+                        let dst = (base + head * LANES as u32) as usize;
+                        for lane in 0..LANES {
+                            if get(&self.bits, &self.words, e, lane) != 0 {
+                                self.state_words[dst + lane] =
+                                    get(&self.bits, &self.words, a, lane) & s.m;
+                            }
+                        }
+                    }
+                },
+                SeqKind::Pipe { op, lo, len } => match s.ring {
+                    Ring::Bit(base) => {
+                        let mut acc = 0u64;
+                        for lane in 0..LANES {
+                            acc |=
+                                (self.eval_gather(GatherKind::Pipe(op), lo, len, lane) & 1) << lane;
+                        }
+                        self.state_bits[(base + head) as usize] = acc;
+                    }
+                    Ring::Word(base) => {
+                        let dst = (base + head * LANES as u32) as usize;
+                        for lane in 0..LANES {
+                            self.state_words[dst + lane] =
+                                self.eval_gather(GatherKind::Pipe(op), lo, len, lane) & s.m;
+                        }
+                    }
+                },
+            }
+            self.heads[k] = (head + 1) % s.depth;
+        }
+        self.cycle += 1;
+        self.dirty = true;
+    }
+
+    /// Returns every lane to the zero power-up state (inputs zero, all
+    /// state zero, cycle count zero), matching a fresh compilation.
+    pub fn reset(&mut self) {
+        self.bits.fill(0);
+        self.words.fill(0);
+        self.state_bits.fill(0);
+        self.state_words.fill(0);
+        self.heads.fill(0);
+        self.fill_consts();
+        self.cycle = 0;
+        self.dirty = true;
+    }
+
+    /// Current cycle count (number of `step` calls so far).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+impl SimBackend for CompiledSim {
+    /// Broadcasts the value to every lane.
+    fn try_set_input(&mut self, name: &str, value: u64) -> Result<(), PortError> {
+        let (slot, width) = self.input_slot(name)?;
+        let v = mask(value, width);
+        match slot {
+            Slot::Bit(i) => self.bits[i as usize] = if v != 0 { u64::MAX } else { 0 },
+            Slot::Word(base) => self.words[base as usize..base as usize + LANES].fill(v),
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Reads lane 0.
+    fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
+        self.try_output_lane(0, name)
+    }
+
+    fn step(&mut self) {
+        CompiledSim::step(self)
+    }
+
+    fn reset(&mut self) {
+        CompiledSim::reset(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        CompiledSim::cycle(self)
+    }
+
+    fn input_names(&self) -> Vec<String> {
+        self.inputs.iter().map(|(n, _, _)| n.clone()).collect()
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        self.outputs.iter().map(|(n, _)| n.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use lilac_ir::NodeId;
+    use lilac_util::rng::Rng;
+
+    /// Drives the interpreter and the compiled tape (broadcast) in lockstep
+    /// on random stimuli, asserting every output matches on every cycle,
+    /// the power-up cycle included.
+    fn assert_matches_interpreter(n: &Netlist, seed: u64, cycles: usize) {
+        let mut rng = Rng::new(seed);
+        let mut interp = Simulator::new(n).expect("interpreter builds");
+        let mut comp = CompiledSim::new(n).expect("tape compiles");
+        let outputs = interp.output_names();
+        for cycle in 0..cycles {
+            for p in &n.inputs {
+                let v = rng.next_u64();
+                interp.set_input(&p.name, v);
+                SimBackend::set_input(&mut comp, &p.name, v);
+            }
+            for name in &outputs {
+                let want = interp.peek(name);
+                for lane in [0usize, 1, 63] {
+                    assert_eq!(
+                        comp.output_lane(lane, name),
+                        want,
+                        "output `{name}` lane {lane} diverged at cycle {cycle} of `{}`",
+                        n.name
+                    );
+                }
+            }
+            interp.step();
+            comp.step();
+        }
+    }
+
+    /// Same random draw as the optimizer/retiming property suites: the full
+    /// node-kind menu with sequential feedback loops and RegEn holds.
+    fn random_netlist(seed: u64) -> Netlist {
+        let mut rng = Rng::new(seed);
+        let mut n = Netlist::new(format!("compiled_rand_{seed}"));
+        let n_inputs = 1 + rng.index(3);
+        let mut ids: Vec<NodeId> = Vec::new();
+        for i in 0..n_inputs {
+            ids.push(n.add_input(format!("i{i}"), 1 + rng.index(16) as u32));
+        }
+        let n_nodes = 6 + rng.index(30);
+        for k in 0..n_nodes {
+            let any = |rng: &mut Rng, ids: &[NodeId]| {
+                if rng.chance(3, 4) {
+                    *ids.last().unwrap()
+                } else {
+                    ids[rng.index(ids.len())]
+                }
+            };
+            let width = 1 + rng.index(16) as u32;
+            let id = match rng.index(14) {
+                0 => n.add_const(rng.next_u64(), width),
+                1 | 2 => {
+                    let a = any(&mut rng, &ids);
+                    n.add_node(NodeKind::Reg, vec![a], width, format!("n{k}"))
+                }
+                3 | 4 => {
+                    let a = any(&mut rng, &ids);
+                    let d = rng.index(4) as u32;
+                    n.add_node(NodeKind::Delay(d), vec![a], width, format!("n{k}"))
+                }
+                5 => {
+                    let (a, e) = (any(&mut rng, &ids), any(&mut rng, &ids));
+                    n.add_node(NodeKind::RegEn, vec![a, e], width, format!("n{k}"))
+                }
+                6 | 7 => {
+                    let (a, b) = (any(&mut rng, &ids), any(&mut rng, &ids));
+                    let kind = match rng.index(6) {
+                        0 => NodeKind::Add,
+                        1 => NodeKind::Sub,
+                        2 => NodeKind::Mul,
+                        3 => NodeKind::And,
+                        4 => NodeKind::Or,
+                        _ => NodeKind::Xor,
+                    };
+                    n.add_node(kind, vec![a, b], width, format!("n{k}"))
+                }
+                8 => {
+                    let a = any(&mut rng, &ids);
+                    n.add_node(NodeKind::Not, vec![a], width, format!("n{k}"))
+                }
+                9 => {
+                    let (a, b) = (any(&mut rng, &ids), any(&mut rng, &ids));
+                    let kind = if rng.chance(1, 2) { NodeKind::Eq } else { NodeKind::Lt };
+                    n.add_node(kind, vec![a, b], 1, format!("n{k}"))
+                }
+                10 => {
+                    let (s, a, b) = (any(&mut rng, &ids), any(&mut rng, &ids), any(&mut rng, &ids));
+                    n.add_node(NodeKind::Mux, vec![s, a, b], width, format!("n{k}"))
+                }
+                11 => {
+                    let a = any(&mut rng, &ids);
+                    let lo = rng.index(8) as u32;
+                    n.add_node(NodeKind::Slice { lo }, vec![a], width, format!("n{k}"))
+                }
+                12 => {
+                    let parts = 1 + rng.index(3);
+                    let inputs: Vec<NodeId> = (0..parts).map(|_| any(&mut rng, &ids)).collect();
+                    n.add_node(NodeKind::Concat, inputs, width, format!("n{k}"))
+                }
+                _ => {
+                    let (a, b) = (any(&mut rng, &ids), any(&mut rng, &ids));
+                    let op = if rng.chance(1, 2) { PipeOp::FAdd } else { PipeOp::IntMul };
+                    let latency = rng.index(4) as u32;
+                    n.add_node(
+                        NodeKind::PipelinedOp { op, latency, ii: 1 },
+                        vec![a, b],
+                        width,
+                        format!("n{k}"),
+                    )
+                }
+            };
+            ids.push(id);
+        }
+        for _ in 0..rng.index(3) {
+            let id = ids[rng.index(ids.len())];
+            if n.node(id).kind.is_sequential() && !matches!(n.node(id).kind, NodeKind::RegEn) {
+                let target = ids[rng.index(ids.len())];
+                n.set_inputs(id, vec![target]);
+            }
+        }
+        let n_outputs = 1 + rng.index(3);
+        for o in 0..n_outputs {
+            let pick = ids[ids.len() / 2 + rng.index(ids.len() - ids.len() / 2)];
+            n.add_output(format!("o{o}"), pick);
+        }
+        n
+    }
+
+    #[test]
+    fn matches_interpreter_on_random_designs() {
+        for seed in 0..60 {
+            let n = random_netlist(seed);
+            assert!(n.validate().is_ok(), "seed {seed}");
+            assert_matches_interpreter(&n, seed ^ 0xC0DE, 24);
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent_simulations() {
+        // Pack 64 different stimulus streams into the lanes and check each
+        // lane against its own dedicated interpreter run.
+        for seed in [3u64, 17, 40] {
+            let n = random_netlist(seed);
+            let mut comp = CompiledSim::new(&n).expect("tape compiles");
+            let mut interps: Vec<Simulator> =
+                (0..LANES).map(|_| Simulator::new(&n).unwrap()).collect();
+            let mut rng = Rng::new(seed ^ 0xA5A5);
+            let outputs: Vec<String> = interps[0].output_names();
+            for cycle in 0..12 {
+                for p in &n.inputs {
+                    for (lane, interp) in interps.iter_mut().enumerate() {
+                        let v = rng.next_u64();
+                        interp.set_input(&p.name, v);
+                        comp.set_input_lane(lane, &p.name, v);
+                    }
+                }
+                for name in &outputs {
+                    for (lane, interp) in interps.iter_mut().enumerate() {
+                        assert_eq!(
+                            comp.output_lane(lane, name),
+                            interp.peek(name),
+                            "seed {seed}: output `{name}` lane {lane} diverged at cycle {cycle}"
+                        );
+                    }
+                }
+                comp.step();
+                for interp in &mut interps {
+                    interp.step();
+                }
+            }
+        }
+    }
+
+    fn arith_netlist(width: u32) -> Netlist {
+        let mut n = Netlist::new(format!("arith{width}"));
+        let a = n.add_input("a", width);
+        let b = n.add_input("b", width);
+        let sum = n.add_node(NodeKind::Add, vec![a, b], width, "sum");
+        let dif = n.add_node(NodeKind::Sub, vec![a, b], width, "dif");
+        let prd = n.add_node(NodeKind::Mul, vec![a, b], width, "prd");
+        let ltn = n.add_node(NodeKind::Lt, vec![a, b], 1, "ltn");
+        let eqn = n.add_node(NodeKind::Eq, vec![a, b], 1, "eqn");
+        let inv = n.add_node(NodeKind::Not, vec![a], width, "inv");
+        let reg = n.add_node(NodeKind::Reg, vec![sum], width, "reg");
+        n.add_output("sum", sum);
+        n.add_output("dif", dif);
+        n.add_output("prd", prd);
+        n.add_output("lt", ltn);
+        n.add_output("eq", eqn);
+        n.add_output("not", inv);
+        n.add_output("reg", reg);
+        n
+    }
+
+    #[test]
+    fn width_edge_cases_1_63_64() {
+        // Width 1 exercises the bitsliced fast paths; 63 the widest masked
+        // word; 64 the full-word no-mask case (wrapping arithmetic).
+        for width in [1u32, 63, 64] {
+            let n = arith_netlist(width);
+            assert_matches_interpreter(&n, 0x1111 * u64::from(width), 16);
+        }
+    }
+
+    #[test]
+    fn partial_top_lane_batches_stay_isolated() {
+        // A 7-vector batch: garbage written into the inactive top lanes
+        // must not leak into any active lane, and the aggregate reader
+        // returns exactly the active count.
+        let n = arith_netlist(16);
+        let mut comp = CompiledSim::new(&n).expect("tape compiles");
+        comp.set_active(7);
+        let mut interps: Vec<Simulator> = (0..7).map(|_| Simulator::new(&n).unwrap()).collect();
+        let mut rng = Rng::new(0xBA7C);
+        for cycle in 0..8 {
+            for (lane, interp) in interps.iter_mut().enumerate() {
+                let (a, b) = (rng.next_u64(), rng.next_u64());
+                comp.set_input_lane(lane, "a", a);
+                comp.set_input_lane(lane, "b", b);
+                interp.set_input("a", a);
+                interp.set_input("b", b);
+            }
+            // Poison every inactive lane with fresh garbage each cycle.
+            for lane in 7..LANES {
+                comp.set_input_lane(lane, "a", rng.next_u64());
+                comp.set_input_lane(lane, "b", rng.next_u64());
+            }
+            for name in ["sum", "dif", "prd", "lt", "eq", "not", "reg"] {
+                let got = comp.output_lanes(name);
+                assert_eq!(got.len(), 7, "aggregate reader returns active lanes only");
+                for (lane, interp) in interps.iter_mut().enumerate() {
+                    assert_eq!(
+                        got[lane],
+                        interp.peek(name),
+                        "output `{name}` lane {lane} diverged at cycle {cycle}"
+                    );
+                }
+            }
+            comp.step();
+            for interp in &mut interps {
+                interp.step();
+            }
+        }
+    }
+
+    #[test]
+    fn zero_power_up_state_matches_interpreter() {
+        // Before any input or step, both engines must agree from the
+        // all-zero power-up state, and again right after a reset.
+        for seed in [0u64, 9, 23] {
+            let n = random_netlist(seed);
+            let mut interp = Simulator::new(&n).unwrap();
+            let mut comp = CompiledSim::new(&n).unwrap();
+            for name in interp.output_names() {
+                assert_eq!(comp.output_lane(5, &name), interp.peek(&name), "seed {seed}");
+            }
+            // Disturb, then reset both; the power-up trace must replay.
+            assert_matches_interpreter(&n, seed, 6);
+            interp.reset();
+            comp.reset();
+            assert_eq!(SimBackend::cycle(&comp), 0);
+            for name in interp.output_names() {
+                assert_eq!(
+                    comp.output_lane(63, &name),
+                    interp.peek(&name),
+                    "seed {seed}: reset must restore power-up state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regen_holds_per_lane() {
+        let mut n = Netlist::new("regen");
+        let i = n.add_input("i", 8);
+        let en = n.add_input("en", 1);
+        let r = n.add_node(NodeKind::RegEn, vec![i, en], 8, "r");
+        n.add_output("o", r);
+        let mut comp = CompiledSim::new(&n).unwrap();
+        for lane in 0..LANES {
+            comp.set_input_lane(lane, "i", lane as u64);
+            comp.set_input_lane(lane, "en", 1);
+        }
+        comp.step();
+        // Now only even lanes capture the new value.
+        for lane in 0..LANES {
+            comp.set_input_lane(lane, "i", 100 + lane as u64);
+            comp.set_input_lane(lane, "en", u64::from(lane % 2 == 0));
+        }
+        comp.step();
+        for lane in 0..LANES {
+            let want = if lane % 2 == 0 { 100 + lane as u64 } else { lane as u64 };
+            assert_eq!(comp.output_lane(lane, "o"), want & 0xFF, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn unknown_ports_are_structured_errors() {
+        let n = arith_netlist(8);
+        let mut comp = CompiledSim::new(&n).unwrap();
+        let e = comp.try_set_input_lane(0, "nope", 1).unwrap_err();
+        assert_eq!(e.dir, PortDir::Input);
+        assert_eq!(e.port, "nope");
+        assert_eq!(e.module, "arith8");
+        assert_eq!(e.available, vec!["a".to_string(), "b".to_string()]);
+        let e = comp.try_output_lane(0, "nope").unwrap_err();
+        assert_eq!(e.dir, PortDir::Output);
+        assert!(e.available.contains(&"sum".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no input named")]
+    fn unknown_input_panics_through_backend() {
+        let n = arith_netlist(8);
+        let mut comp = CompiledSim::new(&n).unwrap();
+        SimBackend::set_input(&mut comp, "nope", 1);
+    }
+}

@@ -43,6 +43,12 @@
 use lilac_ir::{mask, pipe_value, Netlist, NodeId, NodeKind};
 use std::collections::{HashMap, VecDeque};
 
+pub mod backend;
+pub mod compiled;
+
+pub use backend::{PortDir, PortError, SimBackend};
+pub use compiled::CompiledSim;
+
 /// A cycle-accurate interpreter for a netlist.
 #[derive(Clone, Debug)]
 pub struct Simulator {
@@ -55,6 +61,10 @@ pub struct Simulator {
     /// Current input values by input-port index.
     inputs: Vec<u64>,
     cycle: u64,
+    /// Whether `values` is stale relative to `inputs`/`state`. Cleared by
+    /// `eval_combinational`, so repeated output reads between edges settle
+    /// at most once.
+    dirty: bool,
 }
 
 impl Simulator {
@@ -84,6 +94,7 @@ impl Simulator {
             state,
             inputs: vec![0; netlist.inputs.len()],
             cycle: 0,
+            dirty: true,
         })
     }
 
@@ -93,14 +104,26 @@ impl Simulator {
     ///
     /// Panics if the input does not exist.
     pub fn set_input(&mut self, name: &str, value: u64) {
-        let idx = self
-            .netlist
-            .inputs
-            .iter()
-            .position(|p| p.name == name)
-            .unwrap_or_else(|| panic!("no input named `{name}` in `{}`", self.netlist.name));
+        if let Err(e) = self.try_set_input(name, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`set_input`](Self::set_input): reports an unknown
+    /// port as a structured [`PortError`] instead of panicking.
+    pub fn try_set_input(&mut self, name: &str, value: u64) -> Result<(), PortError> {
+        let idx = self.netlist.inputs.iter().position(|p| p.name == name).ok_or_else(|| {
+            PortError::new(
+                &self.netlist.name,
+                PortDir::Input,
+                name,
+                self.netlist.inputs.iter().map(|p| p.name.clone()).collect(),
+            )
+        })?;
         let width = self.netlist.inputs[idx].width;
         self.inputs[idx] = mask(value, width);
+        self.dirty = true;
+        Ok(())
     }
 
     /// Sets every input from a map (missing inputs keep their prior values).
@@ -150,6 +173,26 @@ impl Simulator {
             }
         }
         self.cycle += 1;
+        self.dirty = true;
+    }
+
+    /// Returns to the zero power-up state: all registers, delay lines and
+    /// pipeline stages zero, all inputs zero, cycle count zero — exactly as
+    /// a freshly built simulator.
+    pub fn reset(&mut self) {
+        for v in &mut self.values {
+            *v = 0;
+        }
+        for ring in &mut self.state {
+            for slot in ring.iter_mut() {
+                *slot = 0;
+            }
+        }
+        for i in &mut self.inputs {
+            *i = 0;
+        }
+        self.cycle = 0;
+        self.dirty = true;
     }
 
     /// Runs `cycles` clock cycles with the current inputs.
@@ -172,12 +215,26 @@ impl Simulator {
     ///
     /// Panics if the output does not exist.
     pub fn output(&mut self, name: &str) -> u64 {
+        match self.try_output(name) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`output`](Self::output): settles combinational
+    /// logic, then reports an unknown port as a structured [`PortError`]
+    /// instead of panicking.
+    pub fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
         self.eval_combinational();
-        let id = self
-            .netlist
-            .output(name)
-            .unwrap_or_else(|| panic!("no output named `{name}` in `{}`", self.netlist.name));
-        self.values[id.0 as usize]
+        let id = self.netlist.output(name).ok_or_else(|| {
+            PortError::new(
+                &self.netlist.name,
+                PortDir::Output,
+                name,
+                self.netlist.outputs.iter().map(|(p, _)| p.name.clone()).collect(),
+            )
+        })?;
+        Ok(self.values[id.0 as usize])
     }
 
     /// Current cycle count (number of `step` calls so far).
@@ -190,6 +247,11 @@ impl Simulator {
     /// holding onto the netlist.
     pub fn output_names(&self) -> Vec<String> {
         self.netlist.outputs.iter().map(|(p, _)| p.name.clone()).collect()
+    }
+
+    /// Names of the netlist's inputs, in declaration order.
+    pub fn input_names(&self) -> Vec<String> {
+        self.netlist.inputs.iter().map(|p| p.name.clone()).collect()
     }
 
     /// Convenience driver: applies each input map for one cycle and collects
@@ -209,6 +271,10 @@ impl Simulator {
     }
 
     fn eval_combinational(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
         // Operand scratch buffer, reused across nodes to keep the hot loop
         // allocation-free.
         let mut operands: Vec<(u64, u32)> = Vec::with_capacity(8);
@@ -238,6 +304,36 @@ impl Simulator {
             };
             self.values[id.0 as usize] = mask(value, node.width);
         }
+    }
+}
+
+impl SimBackend for Simulator {
+    fn try_set_input(&mut self, name: &str, value: u64) -> Result<(), PortError> {
+        Simulator::try_set_input(self, name, value)
+    }
+
+    fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
+        Simulator::try_output(self, name)
+    }
+
+    fn step(&mut self) {
+        Simulator::step(self)
+    }
+
+    fn reset(&mut self) {
+        Simulator::reset(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        Simulator::cycle(self)
+    }
+
+    fn input_names(&self) -> Vec<String> {
+        Simulator::input_names(self)
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        Simulator::output_names(self)
     }
 }
 

@@ -149,6 +149,19 @@ impl VSimulator {
         self.design.outputs.iter().map(|p| p.name.clone()).collect()
     }
 
+    /// Returns to the zero power-up state: every net and array element
+    /// zero, cycle count zero — exactly as a freshly built simulator.
+    pub fn reset(&mut self) {
+        for v in self.values.values_mut() {
+            *v = 0;
+        }
+        for arr in self.arrays.values_mut() {
+            arr.fill(0);
+        }
+        self.cycle = 0;
+        self.dirty = true;
+    }
+
     fn settle(&mut self) {
         if !self.dirty {
             return;
@@ -162,6 +175,59 @@ impl VSimulator {
             // Every scalar net was seeded in `new`, so this never allocates.
             *self.values.get_mut(target.as_str()).expect("seeded net") = v;
         }
+    }
+}
+
+/// The unified backend contract: differential harnesses drive the Verilog
+/// evaluator through the same trait as the interpreter and the compiled
+/// tape. Output lookups are restricted to declared output ports (unlike
+/// [`peek`](VSimulator::peek), which reads any scalar net).
+impl lilac_sim::SimBackend for VSimulator {
+    fn try_set_input(&mut self, name: &str, value: u64) -> Result<(), lilac_sim::PortError> {
+        let port = self.design.inputs.iter().find(|p| p.name == name).ok_or_else(|| {
+            lilac_sim::PortError::new(
+                &self.design.name,
+                lilac_sim::PortDir::Input,
+                name,
+                self.input_names(),
+            )
+        })?;
+        let masked = mask(value, port.width);
+        self.values.insert(port.name.clone(), masked);
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn try_output(&mut self, name: &str) -> Result<u64, lilac_sim::PortError> {
+        if !self.design.outputs.iter().any(|p| p.name == name) {
+            return Err(lilac_sim::PortError::new(
+                &self.design.name,
+                lilac_sim::PortDir::Output,
+                name,
+                self.output_names(),
+            ));
+        }
+        Ok(self.peek(name))
+    }
+
+    fn step(&mut self) {
+        VSimulator::step(self)
+    }
+
+    fn reset(&mut self) {
+        VSimulator::reset(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        VSimulator::cycle(self)
+    }
+
+    fn input_names(&self) -> Vec<String> {
+        VSimulator::input_names(self)
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        VSimulator::output_names(self)
     }
 }
 
