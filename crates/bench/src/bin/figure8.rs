@@ -2,7 +2,10 @@
 //! with the solver-effort columns behind each number.
 //!
 //! `--json <path>` additionally writes the machine-readable
-//! `BENCH_figure8.json` artifact (used by the CI timing smoke job).
+//! `BENCH_figure8.json` run report (used by the CI timing smoke job): the
+//! Figure 8 check times plus per-netlist optimizer node counts, retiming
+//! fmax deltas, and incremental re-checking hit rates — one diffable JSON
+//! document per run, so perf trajectories are comparable across PRs.
 //!
 //! `--check` validates that the run actually measured something — every
 //! design must have discharged obligations through real solver queries and
@@ -132,9 +135,16 @@ fn main() {
     while let Some(arg) = args.next() {
         if arg == "--json" {
             let path = args.next().unwrap_or_else(|| "BENCH_figure8.json".to_string());
-            std::fs::write(&path, lilac_bench::figure8_json(&rows))
+            let report = lilac_bench::run_report(rows.clone()).expect("run report");
+            std::fs::write(&path, lilac_bench::run_report_json(&report))
                 .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-            println!("\nwrote {path}");
+            println!(
+                "\nwrote {path} ({} figure8 rows, {} netlists, {} retiming rows, {} incremental rows)",
+                report.figure8.len(),
+                report.netlists.len(),
+                report.retiming.len(),
+                report.incremental.len()
+            );
         } else if arg == "--check" {
             check = true;
         }

@@ -206,10 +206,19 @@ pub fn figure8_with(options: &CheckOptions) -> Result<Vec<Figure8Row>> {
 }
 
 /// Serializes Figure 8 rows (plus the machine-readable solver stats) as a
-/// JSON document — the artifact the CI timing smoke job uploads as
-/// `BENCH_figure8.json`.
+/// JSON document. Superseded by [`run_report_json`] for the CI artifact
+/// (which embeds the same rows as its `figure8` section) but kept for
+/// callers that only want the check-time table.
 pub fn figure8_json(rows: &[Figure8Row]) -> String {
-    let mut out = String::from("{\n  \"figure8\": [\n");
+    let mut out = String::from("{\n");
+    figure8_json_section(&mut out, rows);
+    out.push_str("}\n");
+    out
+}
+
+/// Appends the `"figure8": [...]` section (no trailing comma) to `out`.
+fn figure8_json_section(out: &mut String, rows: &[Figure8Row]) {
+    out.push_str("  \"figure8\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let s = &row.solver;
         out.push_str(&format!(
@@ -228,6 +237,161 @@ pub fn figure8_json(rows: &[Figure8Row]) -> String {
             s.facts_sliced_out,
             s.eq_guard_bailouts,
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n");
+}
+
+// ---------------------------------------------------------------------------
+// Whole-run BENCH report (the machine-readable per-PR perf trajectory)
+// ---------------------------------------------------------------------------
+
+/// One row of the incremental re-checking exhibit: a bundled design checked
+/// cold (empty [`PriorReports`](lilac_core::PriorReports)) and then warm
+/// (the identical program re-submitted to the same store), with the content
+/// hash replaying every clean component verdict on the warm pass.
+#[derive(Clone, Debug)]
+pub struct IncrementalRow {
+    /// Design.
+    pub design: Design,
+    /// Components the design checks (including the bundled stdlib).
+    pub components: usize,
+    /// Wall-clock time of the cold check (every component misses).
+    pub cold_time: Duration,
+    /// Wall-clock time of the warm re-check.
+    pub warm_time: Duration,
+    /// Components replayed from the store on the warm pass.
+    pub warm_hits: usize,
+    /// Components re-checked on the warm pass (diagnostics-bearing verdicts
+    /// are never cached, so a design with warnings keeps a nonzero floor).
+    pub warm_misses: usize,
+}
+
+impl IncrementalRow {
+    /// Warm-pass report-cache hit rate, in `[0, 1]`.
+    pub fn warm_hit_rate(&self) -> f64 {
+        self.warm_hits as f64 / ((self.warm_hits + self.warm_misses) as f64).max(1.0)
+    }
+}
+
+/// Measures content-addressed incremental re-checking
+/// ([`lilac_core::check_program_incremental`]) on every bundled design:
+/// one cold check to populate the verdict store, one warm re-check of the
+/// same program to measure the replay.
+///
+/// # Errors
+///
+/// Propagates parse or type-check errors (none expected).
+pub fn incremental_report() -> Result<Vec<IncrementalRow>> {
+    let options = CheckOptions::default();
+    let mut rows = Vec::new();
+    for design in Design::all() {
+        let program = design.program()?;
+        let mut prior = lilac_core::PriorReports::new();
+        let start = Instant::now();
+        let cold = lilac_core::check_program_incremental(&program, &options, &mut prior)?;
+        let cold_time = start.elapsed();
+        let start = Instant::now();
+        let warm = lilac_core::check_program_incremental(&program, &options, &mut prior)?;
+        let warm_time = start.elapsed();
+        rows.push(IncrementalRow {
+            design,
+            components: cold.hits + cold.misses,
+            cold_time,
+            warm_time,
+            warm_hits: warm.hits,
+            warm_misses: warm.misses,
+        });
+    }
+    Ok(rows)
+}
+
+/// Everything one benchmark run measures, in machine-readable form: the
+/// per-PR perf trajectory CI serializes to `BENCH_figure8.json` via
+/// [`run_report_json`]. Check-time comes from the Figure 8 rows, node
+/// counts from the optimizer, fmax from the retimer's timing model, and
+/// the incremental hit-rate from the content-addressed re-checker.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Figure 8: per-design type-check time and solver effort.
+    pub figure8: Vec<Figure8Row>,
+    /// Per-netlist optimizer node counts (no simulation timing — the cheap
+    /// stats-only pass, suitable for every CI run).
+    pub netlists: Vec<(&'static str, lilac_opt::OptStats)>,
+    /// Per-netlist retiming fmax deltas.
+    pub retiming: Vec<RetimeRow>,
+    /// Per-design incremental re-checking hit rates.
+    pub incremental: Vec<IncrementalRow>,
+}
+
+/// Assembles a [`RunReport`] around already-measured Figure 8 rows (so the
+/// `figure8` binary measures the check times exactly once).
+///
+/// # Errors
+///
+/// Propagates parse/type-check/elaboration errors (none expected).
+pub fn run_report(figure8: Vec<Figure8Row>) -> Result<RunReport> {
+    let netlists = paper_netlists()?
+        .iter()
+        .map(|(name, netlist)| (*name, lilac_opt::optimize_with_stats(netlist).1))
+        .collect();
+    Ok(RunReport {
+        figure8,
+        netlists,
+        retiming: retiming_report(1)?,
+        incremental: incremental_report()?,
+    })
+}
+
+/// Serializes a [`RunReport`] as the `BENCH_*.json` artifact: one JSON
+/// document with `figure8`, `netlists`, `retiming`, and `incremental`
+/// sections, stable field names, and times in integer microseconds — so
+/// per-PR trajectories diff cleanly.
+pub fn run_report_json(report: &RunReport) -> String {
+    let mut out = String::from("{\n  \"schema\": \"lilac-bench-run/v1\",\n");
+    figure8_json_section(&mut out, &report.figure8);
+    out.push_str(",\n  \"netlists\": [\n");
+    for (i, (name, s)) in report.netlists.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"netlist\": \"{}\", \"nodes_before\": {}, \"nodes_after\": {}, \
+             \"node_reduction\": {:.3}, \"sequential_before\": {}, \"sequential_after\": {}}}{}\n",
+            name.replace('"', "'"),
+            s.nodes_before,
+            s.nodes_after,
+            s.node_reduction(),
+            s.sequential_before,
+            s.sequential_after,
+            if i + 1 == report.netlists.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"retiming\": [\n");
+    for (i, row) in report.retiming.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"netlist\": \"{}\", \"fmax_before_mhz\": {:.3}, \"fmax_after_mhz\": {:.3}, \
+             \"fmax_gain_pct\": {:.3}, \"moves\": {}, \"latency_preserved\": {}}}{}\n",
+            row.design.replace('"', "'"),
+            row.fmax_before_mhz,
+            row.fmax_after_mhz,
+            row.stats.fmax_gain_pct(),
+            row.stats.moves(),
+            row.latency_preserved,
+            if i + 1 == report.retiming.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"incremental\": [\n");
+    for (i, row) in report.incremental.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"components\": {}, \"cold_check_us\": {}, \
+             \"warm_check_us\": {}, \"warm_hits\": {}, \"warm_misses\": {}, \
+             \"warm_hit_rate\": {:.3}}}{}\n",
+            row.design.name().replace('"', "'"),
+            row.components,
+            row.cold_time.as_micros(),
+            row.warm_time.as_micros(),
+            row.warm_hits,
+            row.warm_misses,
+            row.warm_hit_rate(),
+            if i + 1 == report.incremental.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1007,6 +1171,35 @@ mod tests {
         assert!(json.contains("\"figure8\""));
         assert!(json.contains("cache_hit_rate"));
         assert_eq!(json.matches("\"design\"").count(), rows.len());
+    }
+
+    #[test]
+    fn run_report_carries_every_section_and_warm_rechecks_hit() {
+        let figure8_rows = figure8().unwrap();
+        let designs = figure8_rows.len();
+        let report = run_report(figure8_rows).unwrap();
+        assert_eq!(report.figure8.len(), designs);
+        assert!(!report.netlists.is_empty());
+        assert!(!report.retiming.is_empty());
+        assert_eq!(report.incremental.len(), designs);
+        for row in &report.incremental {
+            assert_eq!(row.warm_hits + row.warm_misses, row.components, "{:?}", row.design);
+            assert!(row.warm_hits > 0, "{:?}: warm re-check replayed nothing", row.design);
+        }
+        // At least one bundled design is fully clean, so its identical warm
+        // re-check must be a complete replay.
+        assert!(
+            report.incremental.iter().any(|r| r.warm_misses == 0),
+            "no design achieved a 100% warm hit rate"
+        );
+        let json = run_report_json(&report);
+        assert!(json.contains("\"schema\": \"lilac-bench-run/v1\""));
+        for section in ["\"figure8\"", "\"netlists\"", "\"retiming\"", "\"incremental\""] {
+            assert!(json.contains(section), "missing section {section}");
+        }
+        assert!(json.contains("warm_hit_rate"));
+        assert!(json.contains("fmax_after_mhz"));
+        assert!(json.contains("nodes_after"));
     }
 
     #[test]

@@ -223,7 +223,7 @@ pub fn check_program_with(program: &Program, options: &CheckOptions) -> Result<C
 /// The report for a component whose checker panicked: one error diagnostic
 /// anchored at the component's name, no obligations counted (the count up to
 /// the panic is unrecoverable and a partial count would be misleading).
-fn panic_report(module: &Module, panic: &WorkerPanic) -> ComponentReport {
+pub(crate) fn panic_report(module: &Module, panic: &WorkerPanic) -> ComponentReport {
     ComponentReport {
         name: module.name(),
         obligations: 0,

@@ -44,6 +44,7 @@
 
 pub mod check;
 pub mod comp;
+pub mod fingerprint;
 pub mod interface;
 pub mod lower;
 
@@ -52,4 +53,8 @@ pub use check::{
     CheckReport, ComponentReport,
 };
 pub use comp::CompLibrary;
+pub use fingerprint::{
+    check_program_incremental, component_hash, program_component_hashes, ComponentHash,
+    IncrementalReport, PriorReports,
+};
 pub use interface::{GeneratorFeature, InterfaceStyle, TimingKnowledge};

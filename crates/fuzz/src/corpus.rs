@@ -181,12 +181,15 @@ pub fn emit_case(scenario: &Scenario) -> Result<String, Failure> {
     Ok(head)
 }
 
-/// Replays one corpus file: checker A/B (+ expectation), round-trip, and —
-/// for clean cases — elaboration, output-parameter pinning, cycle-exact
-/// simulation against the embedded values, the LA/LI wrapper oracle, the
-/// Verilog-backend oracle (emit → `lilac-vsim` parse → cycle-compare), the
-/// optimizer oracle, the retiming oracle, and the compiled-simulation
-/// oracle (all inside the shared [`crate::oracle::drive_netlist`] loop).
+/// Replays one corpus file: checker A/B (+ expectation), round-trip, the
+/// incremental re-checking oracle (the mutation-driven editing session of
+/// [`crate::mutate`], incremental verdicts pinned to from-scratch ones),
+/// and — for clean cases — elaboration, output-parameter pinning,
+/// cycle-exact simulation against the embedded values, the LA/LI wrapper
+/// oracle, the Verilog-backend oracle (emit → `lilac-vsim` parse →
+/// cycle-compare), the optimizer oracle, the retiming oracle, and the
+/// compiled-simulation oracle (all inside the shared
+/// [`crate::oracle::drive_netlist`] loop).
 ///
 /// # Errors
 ///
@@ -229,6 +232,13 @@ pub fn run_text(text: &str) -> Result<(), String> {
             if fast.is_ok() { "ok" } else { "reject" }
         ));
     }
+
+    // The incremental re-checking oracle runs on every replay — rejections
+    // included, since a stale accept of a pinned-reject case would be
+    // exactly the bug the content hash exists to prevent.
+    crate::oracle::incremental_stream(&program, d.seed)
+        .map_err(|f| format!("{}: {}", f.oracle, f.detail))?;
+
     if !d.expect_check_ok {
         return Ok(());
     }

@@ -5,7 +5,7 @@
 //! *well-typed-by-construction* Lilac programs — compositions of standard
 //! library components, loops and bundles, parameterized generated
 //! sub-components, and FloPoCo generator invocations — and pushes each one
-//! through nine differential oracles (see [`oracle`]):
+//! through ten differential oracles (see [`oracle`]):
 //!
 //! 1. every checker configuration (optimized / serial / shared-cache /
 //!    naive) reaches the same verdict;
@@ -37,10 +37,15 @@
 //!    identical with and without `--faults`;
 //! 9. the compiled bit-parallel tape ([`lilac_sim::CompiledSim`]) matches
 //!    the interpreter on every output of every cycle in the same lockstep
-//!    loop, and — with the case's stimulus vectors packed one per `u64`
-//!    bit lane and held constant — settles every listed output to the
-//!    scenario interpreter's predicted value in every lane (the compiled
-//!    simulation oracle).
+//!    loop, and — with 64 stimulus vectors packed one per `u64` bit lane
+//!    and held constant — settles every output to its predicted value in
+//!    every lane (the compiled simulation oracle);
+//! 10. an editing session over each program — alpha-rename, module
+//!     reorder, a one-component body edit, a callee-signature edit —
+//!     re-checked incrementally ([`lilac_core::check_program_incremental`])
+//!     with prior reports threaded through, reaches the from-scratch
+//!     verdict on every request, and the hash-preserving edits replay
+//!     entirely from cache (the incremental re-checking oracle).
 //!
 //! A sixth of the cases carry a deliberate one-cycle timing fault and must
 //! be *rejected* — identically — by every checker configuration.
@@ -54,6 +59,7 @@
 //! fingerprint.
 
 pub mod corpus;
+pub mod mutate;
 pub mod oracle;
 pub mod scenario;
 pub mod shrink;
@@ -80,6 +86,13 @@ pub struct FuzzConfig {
     /// Restore the service's shared cache from this file at startup and
     /// persist it back when the run completes.
     pub cache_file: Option<std::path::PathBuf>,
+    /// Route the service oracle's requests through
+    /// [`CheckService::check_incremental`](lilac_service::CheckService) so
+    /// the content-addressed report cache replays clean verdicts across
+    /// cases. Like `faults`, this shapes only *how* the service answers:
+    /// verdicts — and therefore stdout and the fingerprint — must be
+    /// byte-identical with and without it.
+    pub incremental: bool,
 }
 
 impl Default for FuzzConfig {
@@ -91,6 +104,7 @@ impl Default for FuzzConfig {
             max_failures: 5,
             faults: None,
             cache_file: None,
+            incremental: false,
         }
     }
 }
@@ -148,6 +162,12 @@ pub struct FuzzSummary {
     pub cache_quarantines: u64,
     /// Entries persisted to `cache_file` at the end of the run.
     pub cache_entries_saved: Option<usize>,
+    /// Component verdicts the service replayed from its content-addressed
+    /// report cache (0 unless `incremental`).
+    pub report_hits: u64,
+    /// Component verdicts the service re-checked on a cache miss (0 unless
+    /// `incremental`).
+    pub report_misses: u64,
     /// Oracle disagreements (empty on a healthy run).
     pub failures: Vec<FailureReport>,
     /// Order-sensitive digest of every case outcome; bit-for-bit stable
@@ -183,7 +203,8 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzSummary {
 /// [`run_fuzz`] with a progress callback invoked after every case (the CLI
 /// uses it; `cargo test` does not).
 pub fn run_fuzz_with_progress(config: &FuzzConfig, mut progress: impl FnMut(u64)) -> FuzzSummary {
-    let session = Session::with_service(config.faults, config.cache_file.clone());
+    let session =
+        Session::with_service(config.faults, config.cache_file.clone(), config.incremental);
     let mut summary = FuzzSummary::default();
     for i in 0..config.cases {
         let seed = case_seed(config.seed, i);
@@ -289,6 +310,8 @@ pub fn run_fuzz_with_progress(config: &FuzzConfig, mut progress: impl FnMut(u64)
         summary.degraded_units = stats.degraded_units;
         summary.failed_units = stats.failed_units;
         summary.cache_quarantines = stats.cache_quarantines;
+        summary.report_hits = stats.report_hits;
+        summary.report_misses = stats.report_misses;
         summary.cache_entries_saved = service.save_cache().ok().flatten();
     }
     summary
@@ -329,6 +352,31 @@ mod tests {
             faulty.fingerprint, plain.fingerprint,
             "faults shape how answers are reached, never the answers: \
              the fingerprint must match the fault-free run bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn fuzz_incremental_mode_is_clean() {
+        let plain = run_fuzz(&FuzzConfig { cases: 40, seed: 0, ..FuzzConfig::default() });
+        let incremental = run_fuzz(&FuzzConfig {
+            cases: 40,
+            seed: 0,
+            incremental: true,
+            ..FuzzConfig::default()
+        });
+        assert!(
+            incremental.failures.is_empty(),
+            "incremental mode flipped a verdict: {:#?}",
+            incremental.failures
+        );
+        assert!(
+            incremental.report_hits + incremental.report_misses > 0,
+            "incremental mode must route requests through the report cache"
+        );
+        assert_eq!(
+            incremental.fingerprint, plain.fingerprint,
+            "the report cache shapes how verdicts are reached, never the verdicts: \
+             the fingerprint must match the plain run bit-for-bit"
         );
     }
 

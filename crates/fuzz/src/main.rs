@@ -28,6 +28,12 @@
 //!   fingerprint — must not change; service/fault statistics go to stderr
 //! * `--cache-file PATH` — restore the service's solver cache from `PATH`
 //!   at startup (quarantining it if corrupt) and persist it back at the end
+//! * `--incremental` — route the service oracle's requests through the
+//!   content-addressed incremental re-checker
+//!   (`CheckService::check_incremental`), replaying clean component
+//!   verdicts across cases. Verdicts — and therefore stdout and the
+//!   fingerprint — must not change; report-cache hit/miss statistics go to
+//!   stderr
 
 use lilac_fuzz::{run_fuzz_with_progress, FuzzConfig};
 use std::io::Write;
@@ -78,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
                     Some(value("--faults")?.parse().map_err(|e| format!("--faults: {e}"))?)
             }
             "--cache-file" => args.config.cache_file = Some(PathBuf::from(value("--cache-file")?)),
+            "--incremental" => args.config.incremental = true,
             "--failures" => args.failures_dir = Some(PathBuf::from(value("--failures")?)),
             "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus")?)),
             "--emit-retime-corpus" => {
@@ -91,7 +98,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: lilac-fuzz [--cases N] [--seed S] [--no-shrink] [--max-failures N]\n\
-                     \x20                 [--faults SEED] [--cache-file PATH]\n\
+                     \x20                 [--faults SEED] [--cache-file PATH] [--incremental]\n\
                      \x20                 [--failures DIR] [--emit-corpus DIR]\n\
                      \x20                 [--emit-retime-corpus DIR] [--corpus-count N]\n\
                      \x20                 [--replay CASE_SEED]"
@@ -200,8 +207,8 @@ fn main() -> ExitCode {
     println!("  fingerprint: {:016x}", summary.fingerprint);
     // Service and fault statistics describe *how* verdicts were reached,
     // so they go to stderr: stdout must stay byte-identical between a
-    // plain run and a `--faults` run of the same seed.
-    if args.config.faults.is_some() || args.config.cache_file.is_some() {
+    // plain run and a `--faults` / `--incremental` run of the same seed.
+    if args.config.faults.is_some() || args.config.cache_file.is_some() || args.config.incremental {
         eprintln!(
             "service: {} fault(s) injected, {} degraded unit(s), {} failed unit(s), {} cache quarantine(s){}",
             summary.faults_injected,
@@ -212,6 +219,15 @@ fn main() -> ExitCode {
                 Some(n) => format!(", {n} cache entries saved"),
                 None => String::new(),
             }
+        );
+    }
+    if args.config.incremental {
+        let total = summary.report_hits + summary.report_misses;
+        eprintln!(
+            "incremental: {} report-cache hit(s), {} miss(es) ({:.1}% hit rate)",
+            summary.report_hits,
+            summary.report_misses,
+            100.0 * summary.report_hits as f64 / (total.max(1)) as f64
         );
     }
 

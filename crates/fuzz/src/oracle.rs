@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! Every generated case is pushed through nine independent cross-checks:
+//! Every generated case is pushed through ten independent cross-checks:
 //!
 //! 1. **Checker A/B** — the optimized obligation-discharge pipeline
 //!    (slicing + caching + indexed scopes), the serial variant, a variant
@@ -57,20 +57,35 @@
 //!    interpreter's predicted value in every lane. The two halves pin the
 //!    tape's scheduling/masking and its lane isolation respectively, on
 //!    generated cases and on every corpus replay.
+//! 10. **Incremental re-checking** — an editing session over the case's
+//!     program (alpha-rename everything, reorder the modules, edit one
+//!     component's body, edit an instantiated callee's signature; see
+//!     [`crate::mutate`]), re-checked request by request through
+//!     [`lilac_core::check_program_incremental`] with the prior requests'
+//!     reports threaded through, must reach exactly the from-scratch
+//!     verdict on every request. Renames and reorders over a fully clean
+//!     predecessor must additionally be *complete cache hits* — the
+//!     content hash is alpha-, order-, and location-invariant by
+//!     construction, and a single miss there is a hash instability. Active
+//!     on generated cases and on every corpus replay.
 //!
 //! All simulation engines are driven through the one [`SimBackend`]
 //! contract, so adding an engine is one [`Engine`] constructor — not
 //! another copy of the drive loop.
 
+use crate::mutate::{self, Mutation};
 use crate::scenario::{eval_gen, eval_steps, Scenario};
 use crate::synth::{Latency, Synthesized};
-use lilac_core::{check_program_with, CheckOptions, CheckReport};
+use lilac_core::{
+    check_program_incremental, check_program_with, CheckOptions, CheckReport, PriorReports,
+};
 use lilac_elab::{elaborate_module, ElabConfig};
 use lilac_service::{CheckService, ServiceConfig};
 use lilac_sim::{CompiledSim, SimBackend, Simulator};
 use lilac_solver::SharedCache;
 use lilac_util::diag::LilacError;
 use lilac_util::fault::FaultPlan;
+use lilac_util::rng::Rng;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -115,18 +130,29 @@ pub struct Session {
     shared: Option<SharedCache>,
     service: Option<CheckService>,
     faults: FaultPlan,
+    incremental: bool,
 }
 
 impl Session {
     /// A session with a persistent shared solver cache and a fault-free
     /// check service.
     pub fn new() -> Session {
-        Session::with_service(None, None)
+        Session::with_service(None, None, false)
     }
 
     /// A session whose service runs under a seeded [`FaultPlan`]
     /// (`faults`) and/or restores+persists its cache at `cache_file`.
-    pub fn with_service(faults: Option<u64>, cache_file: Option<PathBuf>) -> Session {
+    /// With `incremental` the eighth oracle's requests go through
+    /// [`CheckService::check_incremental`] — the content-addressed report
+    /// cache replays clean verdicts across cases — instead of the plain
+    /// [`CheckService::check`]. Like faults, the mode shapes only *how* the
+    /// service answers: verdicts, stdout, and the run fingerprint must be
+    /// byte-identical either way.
+    pub fn with_service(
+        faults: Option<u64>,
+        cache_file: Option<PathBuf>,
+        incremental: bool,
+    ) -> Session {
         let plan = match faults {
             Some(seed) => FaultPlan::seeded(seed),
             None => FaultPlan::disabled(),
@@ -144,6 +170,7 @@ impl Session {
             shared: Some(SharedCache::new()),
             service: Some(CheckService::new(config)),
             faults: plan,
+            incremental,
         }
     }
 
@@ -151,7 +178,7 @@ impl Session {
     /// replays, so a regression's verdict never depends on other cases or
     /// on service-internal fault sites).
     pub fn without_shared_cache() -> Session {
-        Session { shared: None, service: None, faults: FaultPlan::disabled() }
+        Session { shared: None, service: None, faults: FaultPlan::disabled(), incremental: false }
     }
 
     /// Number of entries accumulated in the shared cache.
@@ -255,7 +282,11 @@ fn checker_ab(
     // verdict: faults are armed only on the optimized first attempt, so a
     // flipped verdict means isolation or fallback is broken.
     if let Some(service) = session.service() {
-        let outcome = service.check(&synth.program);
+        let outcome = if session.incremental {
+            service.check_incremental(&synth.program)
+        } else {
+            service.check(&synth.program)
+        };
         let agree = match (&outcome.verdict, &naive) {
             (Ok(a), Ok(b)) => a.equivalent(b),
             (Err(a), Err(b)) => errors_agree(a, b),
@@ -573,32 +604,82 @@ pub(crate) fn drive_netlist(
         }
     }
 
-    // Oracle 9, batched half: one lane per stimulus vector, held constant
-    // (constant inputs are the m = 1 special case of the streaming
-    // protocol, so after `lat` cycles each listed output must sit at its
-    // predicted value). A case's handful of vectors never fills all 64
-    // lanes, which makes every generated case a partial-top-lane batch.
+    // Oracle 9, batched half: all 64 lanes packed, held constant (constant
+    // inputs are the m = 1 special case of the streaming protocol, so after
+    // `lat` cycles each listed output must sit at its predicted value).
+    // Lanes 0..m carry the case's stimulus vectors, checked against the
+    // recorded expected values; every remaining lane carries a
+    // deterministic pseudo-random vector derived from the case's stimuli,
+    // checked against its own reference interpreter run — so the full lane
+    // width (top lanes included) is exercised on every case and every
+    // corpus replay, not only on cases that happen to carry 64 vectors.
     let mut batch = CompiledSim::new(netlist)
         .map_err(|e| Failure::new("compiled", format!("netlist failed to compile: {e}")))?;
-    batch.set_active(m.min(lilac_sim::compiled::LANES));
-    for (lane, stim) in stimuli.iter().take(batch.active()).enumerate() {
+    let lane_count = lilac_sim::compiled::LANES;
+    batch.set_active(lane_count);
+    let packed = m.min(lane_count);
+    for (lane, stim) in stimuli.iter().take(packed).enumerate() {
         for (k, name) in inputs.iter().enumerate() {
             batch
                 .try_set_input_lane(lane, name, stim[k])
                 .map_err(|e| Failure::new("compiled", format!("lane stimulus rejected: {e}")))?;
         }
     }
+    // Derived vectors come from their own SplitMix stream seeded by the
+    // stimulus content: deterministic per case, independent of the scenario
+    // generator's draws (the run fingerprint must not move).
+    let mut derive_seed = 0u64;
+    for stim in &stimuli {
+        for v in stim {
+            derive_seed = crate::fnv1a(derive_seed, &v.to_le_bytes());
+        }
+    }
+    let mut references: Vec<Simulator> = Vec::new();
+    for lane in packed..lane_count {
+        let mut lane_rng = Rng::new(derive_seed ^ (lane as u64).wrapping_mul(0x9e37_79b9));
+        let mut reference = Simulator::new(netlist)
+            .map_err(|e| Failure::new("compiled", format!("netlist rejected: {e}")))?;
+        for (k, name) in inputs.iter().enumerate() {
+            let width = netlist.inputs[input_position[k]].width;
+            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let value = lane_rng.next_u64() & mask;
+            batch
+                .try_set_input_lane(lane, name, value)
+                .map_err(|e| Failure::new("compiled", format!("lane stimulus rejected: {e}")))?;
+            reference.set_input(name, value);
+        }
+        references.push(reference);
+    }
     for _ in 0..=max_lat {
         batch.step();
+        for reference in &mut references {
+            reference.step();
+        }
     }
     for (name, _, values) in outputs {
         let got = batch.output_lanes(name);
-        for (lane, want) in values.iter().take(got.len()).enumerate() {
+        for (lane, want) in values.iter().take(packed.min(got.len())).enumerate() {
             if got[lane] != *want {
                 return Err(Failure::new(
                     "compiled",
                     format!(
                         "output `{name}` lane {lane} settled at {:#x}, expected {want:#x}",
+                        got[lane]
+                    ),
+                ));
+            }
+        }
+    }
+    for name in &all_outputs {
+        let got = batch.output_lanes(name);
+        for (j, reference) in references.iter_mut().enumerate() {
+            let lane = packed + j;
+            let want = reference.peek(name);
+            if got[lane] != want {
+                return Err(Failure::new(
+                    "compiled",
+                    format!(
+                        "output `{name}` derived lane {lane}: compiled {:#x}, interpreter {want:#x}",
                         got[lane]
                     ),
                 ));
@@ -672,12 +753,108 @@ fn simulate(scenario: &Scenario, synth: &Synthesized) -> Result<u64, Failure> {
     drive_netlist(&module.netlist, &synth.inputs, &stimuli, &outputs)
 }
 
+/// Oracle 10: content-addressed incremental re-checking. Replays an editing
+/// session over the program — alpha-rename everything, reorder the modules,
+/// edit one component's body, edit an instantiated callee's signature
+/// ([`Mutation::SESSION`]) — re-checking each revision incrementally with
+/// the prior revisions' reports threaded through, and demands the
+/// from-scratch verdict on every request. Each mutant is printed and
+/// re-parsed first, so replay hits also prove the content hash ignores
+/// spans and file identities. Renames and reorders over a fully clean
+/// predecessor must be complete cache hits. The mutation stream draws from
+/// its own [`Rng`], never the scenario generator's, so the run fingerprint
+/// is untouched.
+pub(crate) fn incremental_stream(program: &lilac_ast::Program, seed: u64) -> Result<(), Failure> {
+    let options = CheckOptions::default();
+    let mut prior = PriorReports::new();
+    let mut rng = Rng::new(seed ^ 0x10c4_e56e_a11d_ab1e);
+    let mut prev_all_clean = compare_incremental(program, &options, &mut prior, None)?;
+    let mut current = program.clone();
+    for mutation in Mutation::SESSION {
+        let mutant = mutate::apply(&current, mutation, &mut rng);
+        let printed = lilac_ast::printer::print_program(&mutant);
+        let (reparsed, _map) = lilac_ast::parse_program("mutant.lilac", &printed).map_err(|e| {
+            Failure::new(
+                "incremental",
+                format!("{mutation:?} mutant failed to re-parse: {e}\n---\n{printed}"),
+            )
+        })?;
+        let expect_all_hits = (mutation.preserves_hashes() && prev_all_clean).then_some(mutation);
+        prev_all_clean = compare_incremental(&reparsed, &options, &mut prior, expect_all_hits)?;
+        current = reparsed;
+    }
+    Ok(())
+}
+
+/// One request of the editing session: the incremental check (threading
+/// `prior`) and a from-scratch check must reach the same verdict; when
+/// `expect_all_hits` names a hash-preserving mutation over a fully clean
+/// predecessor, not a single component may miss the cache. Returns whether
+/// this request's report is fully clean (every verdict cacheable), which
+/// gates the *next* request's all-hits expectation.
+fn compare_incremental(
+    program: &lilac_ast::Program,
+    options: &CheckOptions,
+    prior: &mut PriorReports,
+    expect_all_hits: Option<Mutation>,
+) -> Result<bool, Failure> {
+    let scratch = check_program_with(program, options);
+    let incremental = check_program_incremental(program, options, prior);
+    match (&incremental, &scratch) {
+        (Ok(inc), Ok(from_scratch)) => {
+            if !inc.report.equivalent(from_scratch) {
+                return Err(Failure::new(
+                    "incremental",
+                    format!(
+                        "incremental and from-scratch reports differ: {} vs {}",
+                        describe_check(&Ok(inc.report.clone())),
+                        describe_check(&scratch)
+                    ),
+                ));
+            }
+            if let Some(mutation) = expect_all_hits {
+                if inc.misses != 0 {
+                    return Err(Failure::new(
+                        "incremental",
+                        format!(
+                            "{mutation:?} must be invisible to the content hash, \
+                             but {} of {} component(s) missed the cache",
+                            inc.misses,
+                            inc.hits + inc.misses
+                        ),
+                    ));
+                }
+            }
+            Ok(inc
+                .report
+                .components
+                .iter()
+                .all(|c| c.diagnostics.is_empty() && c.degraded.is_none()))
+        }
+        (Err(a), Err(b)) if errors_agree(a, b) => Ok(false),
+        _ => {
+            let inc_desc = match &incremental {
+                Ok(i) => describe_check(&Ok(i.report.clone())),
+                Err(e) => format!("Err({} diagnostics: {})", e.diagnostics().len(), e.primary()),
+            };
+            Err(Failure::new(
+                "incremental",
+                format!(
+                    "incremental and from-scratch verdicts differ: {inc_desc} vs {}",
+                    describe_check(&scratch)
+                ),
+            ))
+        }
+    }
+}
+
 /// Runs every oracle over one scenario. `Err` carries the first
 /// disagreement; `Ok` carries the case statistics.
 pub fn run_case(scenario: &Scenario, session: &Session) -> Result<CaseStats, Failure> {
     let synth = crate::synth::synthesize(scenario);
     round_trip(&synth)?;
     let check = checker_ab(&synth, session)?;
+    incremental_stream(&synth.program, scenario.seed)?;
     let mut stats = CaseStats {
         modules: synth.program.modules.len(),
         checked_ok: check.is_ok(),

@@ -32,9 +32,13 @@
 //!   checker would.
 
 pub mod pool;
+pub mod reports;
 
 use lilac_ast::{ModuleKind, Program};
-use lilac_core::{check_component_with, CheckOptions, CheckReport, CompLibrary, ComponentReport};
+use lilac_core::{
+    check_component_with, program_component_hashes, CheckOptions, CheckReport, CompLibrary,
+    ComponentHash, ComponentReport,
+};
 use lilac_ir::Netlist;
 use lilac_sim::{CompiledSim, SimBackend};
 use lilac_solver::persist::CacheLoadStatus;
@@ -51,6 +55,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pool::WorkerPool;
+use reports::ReportCache;
 
 /// Configuration for a [`CheckService`].
 #[derive(Clone, Debug)]
@@ -73,6 +78,14 @@ pub struct ServiceConfig {
     /// (quarantining a corrupt image) and [`CheckService::save_cache`]
     /// writes back to it.
     pub cache_path: Option<PathBuf>,
+    /// Most clean component verdicts retained by the content-addressed
+    /// report cache behind [`CheckService::check_incremental`] (FIFO
+    /// eviction past the bound).
+    pub report_cache_capacity: usize,
+    /// When set, the report cache is restored from this path at startup
+    /// (quarantining a corrupt image) and
+    /// [`CheckService::save_report_cache`] writes back to it.
+    pub report_cache_path: Option<PathBuf>,
     /// Deterministic fault injection plan (disabled by default).
     pub faults: FaultPlan,
 }
@@ -87,6 +100,8 @@ impl Default for ServiceConfig {
             backoff_cap: Duration::from_millis(160),
             solver_config: SolverConfig::default(),
             cache_path: None,
+            report_cache_capacity: 65_536,
+            report_cache_path: None,
             faults: FaultPlan::disabled(),
         }
     }
@@ -121,6 +136,11 @@ pub struct ServiceStats {
     /// Simulation requests rejected as malformed (unknown port name or a
     /// netlist the compiled backend refuses).
     pub bad_requests: u64,
+    /// Components whose verdict [`CheckService::check_incremental`] replayed
+    /// from the content-addressed report cache.
+    pub report_hits: u64,
+    /// Components [`CheckService::check_incremental`] had to re-check.
+    pub report_misses: u64,
 }
 
 #[derive(Default)]
@@ -137,6 +157,8 @@ struct Counters {
     cache_quarantines: AtomicU64,
     sim_requests: AtomicU64,
     bad_requests: AtomicU64,
+    report_hits: AtomicU64,
+    report_misses: AtomicU64,
 }
 
 /// Result of one [`CheckService::check`] request.
@@ -202,6 +224,12 @@ pub struct CheckService {
     shared: Mutex<SharedCache>,
     /// What startup found at `cache_path` (None when no path configured).
     cache_status: Option<CacheLoadStatus>,
+    /// Content-addressed clean-verdict cache for
+    /// [`CheckService::check_incremental`].
+    reports: Mutex<ReportCache>,
+    /// What startup found at `report_cache_path` (None when no path
+    /// configured).
+    report_cache_status: Option<CacheLoadStatus>,
     /// Global fault-site counter: every unit and every cache recycle gets a
     /// distinct site, so a seeded [`FaultPlan`] addresses them
     /// deterministically as long as requests are submitted in a
@@ -233,10 +261,29 @@ impl CheckService {
             }
             None => (SharedCache::new(), None),
         };
+        let (reports, report_cache_status) = match &config.report_cache_path {
+            Some(path) => {
+                let (cache, status) =
+                    ReportCache::load_or_quarantine(path, config.report_cache_capacity);
+                match &status {
+                    CacheLoadStatus::Loaded { .. } => {
+                        counters.cache_reloads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    CacheLoadStatus::Quarantined { .. } => {
+                        counters.cache_quarantines.fetch_add(1, Ordering::Relaxed);
+                    }
+                    CacheLoadStatus::Missing => {}
+                }
+                (cache, Some(status))
+            }
+            None => (ReportCache::new(config.report_cache_capacity), None),
+        };
         CheckService {
             pool: WorkerPool::new(config.workers),
             shared: Mutex::new(shared),
             cache_status,
+            reports: Mutex::new(reports),
+            report_cache_status,
             site_counter: AtomicU64::new(0),
             counters,
             config,
@@ -251,6 +298,16 @@ impl CheckService {
     /// Entries currently in the live shared cache.
     pub fn cache_entries(&self) -> usize {
         self.shared.lock().expect("cache handle poisoned").len()
+    }
+
+    /// What startup found at the configured report-cache path, if any.
+    pub fn report_cache_status(&self) -> Option<&CacheLoadStatus> {
+        self.report_cache_status.as_ref()
+    }
+
+    /// Clean verdicts currently in the content-addressed report cache.
+    pub fn report_cache_len(&self) -> usize {
+        self.reports.lock().expect("report cache poisoned").len()
     }
 
     /// Snapshot of the service's lifetime counters.
@@ -269,6 +326,8 @@ impl CheckService {
             cache_quarantines: c.cache_quarantines.load(Ordering::Relaxed),
             sim_requests: c.sim_requests.load(Ordering::Relaxed),
             bad_requests: c.bad_requests.load(Ordering::Relaxed),
+            report_hits: c.report_hits.load(Ordering::Relaxed),
+            report_misses: c.report_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -348,6 +407,124 @@ impl CheckService {
             Err(LilacError::from_diagnostics(errors))
         };
         ServiceOutcome { verdict, degradations, elapsed: start.elapsed() }
+    }
+
+    /// Checks one program, replaying stored clean verdicts from the
+    /// content-addressed report cache instead of re-dispatching their
+    /// components to the pool.
+    ///
+    /// Each component is addressed by its [`ComponentHash`] — a canonical,
+    /// alpha- and location-invariant hash of its module plus the signatures
+    /// of everything it (transitively, through signatures) references — so
+    /// across a request stream only the components whose checking inputs
+    /// actually changed are re-checked. Editing a callee's signature changes
+    /// every transitive caller's hash, so invalidation is exact and needs no
+    /// bookkeeping. Only clean verdicts (no diagnostics, no degraded
+    /// marker) are ever cached, so a hit can never replay a stale rejection
+    /// or a faulted answer; misses run the full degradation ladder exactly
+    /// like [`CheckService::check`].
+    ///
+    /// The verdict is [`CheckReport::equivalent`] to what
+    /// [`CheckService::check`] (and the one-shot checker) would produce —
+    /// the fuzzer's tenth differential oracle pins exactly that.
+    pub fn check_incremental(&self, program: &Program) -> ServiceOutcome {
+        let start = Instant::now();
+        self.counters.programs.fetch_add(1, Ordering::Relaxed);
+        let comps: Vec<(Symbol, ComponentHash)> = match CompLibrary::build(program) {
+            Ok(lib) => program_component_hashes(&lib),
+            Err(e) => {
+                return ServiceOutcome {
+                    verdict: Err(e),
+                    degradations: Vec::new(),
+                    elapsed: start.elapsed(),
+                }
+            }
+        };
+        let mut slots: Vec<Option<(ComponentReport, Vec<CheckError>)>> =
+            comps.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = Vec::new();
+        {
+            let reports = self.reports.lock().expect("report cache poisoned");
+            for (index, (name, hash)) in comps.iter().enumerate() {
+                match reports.lookup(*hash, *name) {
+                    Some(replay) => {
+                        self.counters.report_hits.fetch_add(1, Ordering::Relaxed);
+                        slots[index] = Some((replay, Vec::new()));
+                    }
+                    None => {
+                        self.counters.report_misses.fetch_add(1, Ordering::Relaxed);
+                        pending.push(index);
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            let program = Arc::new(program.clone());
+            let cache = self.shared.lock().expect("cache handle poisoned").clone();
+            let (tx, rx) = mpsc::channel::<(usize, ComponentReport, Vec<CheckError>)>();
+            for &index in &pending {
+                let site = self.site_counter.fetch_add(1, Ordering::Relaxed);
+                let unit = UnitContext {
+                    program: Arc::clone(&program),
+                    component: comps[index].0,
+                    config: self.config.clone(),
+                    cache: cache.clone(),
+                    counters: Arc::clone(&self.counters),
+                    site,
+                };
+                let tx = tx.clone();
+                self.pool.submit(Box::new(move || {
+                    let (report, degradations) = run_unit(&unit);
+                    // The receiver only disappears if the requester's thread
+                    // panicked; dropping the result is then correct.
+                    let _ = tx.send((index, report, degradations));
+                }));
+            }
+            drop(tx);
+            let mut reports = Vec::with_capacity(pending.len());
+            for received in rx {
+                reports.push(received);
+            }
+            let mut cache = self.reports.lock().expect("report cache poisoned");
+            for (index, report, degradations) in reports {
+                cache.admit(comps[index].1, &report);
+                slots[index] = Some((report, degradations));
+            }
+        }
+        let mut components = Vec::with_capacity(slots.len());
+        let mut degradations = Vec::new();
+        for slot in slots {
+            let (report, errs) = slot.expect("every slot filled");
+            degradations.extend(errs);
+            components.push(report);
+        }
+        let errors: Vec<_> = components
+            .iter()
+            .flat_map(|c| c.diagnostics.iter())
+            .filter(|d| d.kind == DiagnosticKind::Error)
+            .cloned()
+            .collect();
+        let verdict = if errors.is_empty() {
+            Ok(CheckReport { components })
+        } else {
+            Err(LilacError::from_diagnostics(errors))
+        };
+        ServiceOutcome { verdict, degradations, elapsed: start.elapsed() }
+    }
+
+    /// Saves the report cache to [`ServiceConfig::report_cache_path`].
+    /// Returns the number of entries written, or `None` when no path is
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_report_cache(&self) -> std::io::Result<Option<usize>> {
+        let Some(path) = &self.config.report_cache_path else {
+            return Ok(None);
+        };
+        let cache = self.reports.lock().expect("report cache poisoned").clone();
+        cache.save(path).map(Some)
     }
 
     /// Simulates a netlist on the persistent pool through the compiled
@@ -653,8 +830,10 @@ fn record_first_failure(counters: &Counters, error: &CheckError) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lilac_ast::{Cmd, Constraint};
     use lilac_core::check_program_with;
     use lilac_designs::Design;
+    use lilac_util::Span;
 
     fn quiet_config(workers: usize) -> ServiceConfig {
         ServiceConfig {
@@ -837,5 +1016,219 @@ mod tests {
         assert!(outcome.verdict.is_err());
         assert!(outcome.degradations.is_empty());
         assert_eq!(service.stats().units, 0);
+    }
+
+    #[test]
+    fn incremental_matches_check_and_replays_without_redispatch() {
+        let service = CheckService::new(quiet_config(2));
+        // FPU (plus the stdlib it bundles) checks clean with no diagnostics
+        // at all, so every component's verdict is cacheable.
+        let program = Design::Fpu.program().expect("FPU parses");
+        let baseline = service.check(&program);
+        let units_after_check = service.stats().units;
+        let cold = service.check_incremental(&program);
+        let after_cold = service.stats();
+        assert_eq!(after_cold.report_hits, 0, "an empty cache cannot hit");
+        assert!(after_cold.report_misses > 0);
+        match (&cold.verdict, &baseline.verdict) {
+            (Ok(a), Ok(b)) => assert!(a.equivalent(b), "incremental and plain verdicts differ"),
+            _ => panic!("FPU checks clean on both paths"),
+        }
+        // Replaying the identical program serves every component from the
+        // report cache: no unit ever reaches the pool.
+        let units_after_cold = service.stats().units;
+        let warm = service.check_incremental(&program);
+        let stats = service.stats();
+        assert_eq!(stats.units, units_after_cold, "a full-hit replay must not dispatch units");
+        assert_eq!(stats.report_hits, after_cold.report_misses);
+        assert_eq!(stats.report_misses, after_cold.report_misses);
+        assert!(units_after_cold > units_after_check, "the cold pass did real work");
+        let replayed = warm.verdict.expect("replay stays clean");
+        assert!(replayed.equivalent(baseline.verdict.as_ref().unwrap()));
+        assert_eq!(replayed.total_elapsed(), Duration::ZERO, "hits do no checking work");
+    }
+
+    #[test]
+    fn one_token_mutation_misses_the_cache_and_flips_the_verdict() {
+        let good_src = "extern comp Reg[#W]<G:1>(in: [G, G+1] #W) -> (out: [G+1, G+2] #W);\n\
+             comp Delay2[#W]<G:1>(i: [G, G+1] #W) -> (o: [G+2, G+3] #W) {\n\
+                 a := new Reg[#W]<G>(i);\n\
+                 b := new Reg[#W]<G+1>(a.out);\n\
+                 o = b.out;\n\
+             }";
+        // One token later (`G+1` → `G+2`) the second register reads `a.out`
+        // after its availability window closed: the verdict must flip.
+        let bad_src = good_src.replace("new Reg[#W]<G+1>", "new Reg[#W]<G+2>");
+        let (good, _map) = lilac_ast::parse_program("good.lilac", good_src).expect("parses");
+        let (bad, _map) = lilac_ast::parse_program("bad.lilac", &bad_src).expect("parses");
+        let service = CheckService::new(quiet_config(1));
+        assert!(service.check_incremental(&good).verdict.is_ok(), "baseline checks clean");
+        assert_eq!(service.report_cache_len(), 1, "Delay2's clean verdict is cached");
+        let outcome = service.check_incremental(&bad);
+        assert!(outcome.verdict.is_err(), "the mutant must be re-checked and rejected");
+        let stats = service.stats();
+        assert_eq!(stats.report_hits, 0, "a one-token body edit must miss the cache");
+        assert_eq!(stats.report_misses, 2);
+        assert_eq!(service.report_cache_len(), 1, "rejected verdicts are never cached");
+        // The clean original still replays.
+        let again = service.check_incremental(&good);
+        assert!(again.verdict.is_ok());
+        assert_eq!(service.stats().report_hits, 1);
+    }
+
+    #[test]
+    fn callee_signature_edits_invalidate_cached_callers() {
+        let base_src = "extern comp Reg[#W]<G:1>(in: [G, G+1] #W) -> (out: [G+1, G+2] #W);\n\
+             comp Mid[#W]<G:1>(i: [G, G+1] #W) -> (o: [G+1, G+2] #W) {\n\
+                 r := new Reg[#W]<G>(i);\n\
+                 o = r.out;\n\
+             }\n\
+             comp Top[#W]<G:1>(i: [G, G+1] #W) -> (o: [G+2, G+3] #W) {\n\
+                 a := new Mid[#W]<G>(i);\n\
+                 b := new Mid[#W]<G+1>(a.o);\n\
+                 o = b.o;\n\
+             }";
+        // Adding a defaulted parameter to Mid is a signature edit that is
+        // inert for callers (the default fills in at instantiation sites) —
+        // but Top instantiates Mid, so Top's cached verdict must be
+        // invalidated too. (A pure rename would NOT invalidate anything:
+        // the content hash is alpha-invariant by construction.)
+        let edited_src = base_src.replace("comp Mid[#W]<G:1>", "comp Mid[#W, #Unused = 0]<G:1>");
+        let (base, _map) = lilac_ast::parse_program("base.lilac", base_src).expect("parses");
+        let (edited, _map) = lilac_ast::parse_program("edited.lilac", &edited_src).expect("parses");
+        let service = CheckService::new(quiet_config(1));
+        assert!(service.check_incremental(&base).verdict.is_ok());
+        assert_eq!(service.stats().report_misses, 2);
+        assert!(service.check_incremental(&edited).verdict.is_ok());
+        let stats = service.stats();
+        assert_eq!(
+            stats.report_misses, 4,
+            "both Mid and its transitive caller Top must be re-checked"
+        );
+        assert_eq!(stats.report_hits, 0);
+    }
+
+    #[test]
+    fn faulted_runs_never_seed_the_report_cache_with_degraded_verdicts() {
+        let program = Design::Fpu.program().expect("FPU parses");
+        let baseline =
+            check_program_with(&program, &CheckOptions::naive()).expect("FPU checks clean");
+        let components =
+            program.modules.iter().filter(|m| matches!(m.kind, ModuleKind::Comp { .. })).count();
+        for seed in 0..4u64 {
+            let config = ServiceConfig { faults: FaultPlan::seeded(seed), ..quiet_config(2) };
+            let service = CheckService::new(config);
+            for _ in 0..2 {
+                let outcome = service.check_incremental(&program);
+                let report = outcome.verdict.as_ref().expect("verdict must stay ok");
+                assert!(
+                    report.equivalent(&baseline),
+                    "seed {seed}: a fault schedule changed the incremental verdict"
+                );
+            }
+            // Only clean verdicts are admitted, so the cache can never hold
+            // more entries than the program has components — and anything it
+            // does hold replays without diagnostics or degradation markers.
+            assert!(service.report_cache_len() <= components);
+            assert_eq!(service.stats().failed_units, 0);
+        }
+    }
+
+    #[test]
+    fn report_cache_persists_across_service_restarts() {
+        let dir = std::env::temp_dir().join(format!("lilac-svc-reports-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("reports.bin");
+        let config = |path: &std::path::Path| ServiceConfig {
+            report_cache_path: Some(path.to_path_buf()),
+            ..quiet_config(1)
+        };
+        let program = Design::Fpu.program().expect("FPU parses");
+        let first = CheckService::new(config(&path));
+        assert!(matches!(first.report_cache_status(), Some(CacheLoadStatus::Missing)));
+        first.check_incremental(&program);
+        let saved = first.save_report_cache().expect("save succeeds").expect("path configured");
+        assert!(saved > 0, "a clean program populates the cache");
+        // A restarted service replays the whole program without dispatching
+        // a single unit.
+        let second = CheckService::new(config(&path));
+        assert!(matches!(
+            second.report_cache_status(),
+            Some(CacheLoadStatus::Loaded { entries }) if *entries == saved
+        ));
+        assert!(second.check_incremental(&program).verdict.is_ok());
+        let stats = second.stats();
+        assert_eq!(stats.report_misses, 0, "a restored cache serves the whole program");
+        assert_eq!(stats.units, 0);
+        // A corrupted image is quarantined, never trusted.
+        let mut bytes = std::fs::read(&path).expect("image readable");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite image");
+        let third = CheckService::new(config(&path));
+        assert!(matches!(third.report_cache_status(), Some(CacheLoadStatus::Quarantined { .. })));
+        assert_eq!(third.report_cache_len(), 0);
+        assert!(!path.exists(), "the corrupt image is moved aside");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_incremental_recheck_is_3x_faster_than_cold() {
+        // A request stream where each request edits exactly one component of
+        // FPU (which bundles the stdlib, so the program carries several
+        // components). Cold service: every request re-checks everything.
+        // Warm service: every request re-checks only the edited component.
+        let base = Design::Fpu.program().expect("FPU parses");
+        let comp_indices: Vec<usize> = base
+            .modules
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| matches!(m.kind, ModuleKind::Comp { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(comp_indices.len() >= 4, "the ratio needs a multi-component program");
+        let requests: Vec<Program> = (0..2 * comp_indices.len())
+            .map(|k| {
+                let mut p = base.clone();
+                let target = comp_indices[k % comp_indices.len()];
+                if let ModuleKind::Comp { body } = &mut p.modules[target].kind {
+                    // A semantically inert body edit: changes the content
+                    // hash without changing the verdict. A different number
+                    // of assumptions per request keeps every edit distinct,
+                    // so no request accidentally replays an earlier edit.
+                    for _ in 0..=k {
+                        body.push(Cmd::Assume {
+                            constraint: Constraint::True,
+                            span: Span::dummy(),
+                        });
+                    }
+                }
+                p
+            })
+            .collect();
+        let cold_service = CheckService::new(quiet_config(2));
+        cold_service.check(&base);
+        let cold_start = Instant::now();
+        for request in &requests {
+            assert!(cold_service.check(request).verdict.is_ok());
+        }
+        let cold = cold_start.elapsed();
+        let warm_service = CheckService::new(quiet_config(2));
+        warm_service.check_incremental(&base);
+        let warm_start = Instant::now();
+        for request in &requests {
+            assert!(warm_service.check_incremental(request).verdict.is_ok());
+        }
+        let warm = warm_start.elapsed();
+        let stats = warm_service.stats();
+        assert_eq!(
+            stats.report_misses as usize,
+            comp_indices.len() + requests.len(),
+            "each warm request re-checks exactly the one edited component"
+        );
+        assert!(
+            cold >= warm * 3,
+            "warm re-checking must be at least 3x faster: cold {cold:?} vs warm {warm:?}"
+        );
     }
 }

@@ -63,7 +63,13 @@ impl Indexer {
 /// per-fact hashes loses cross-fact symbol correlations (slightly more hash
 /// collisions), but [`alpha_match`] verifies candidates exactly, so this
 /// only trades a rare extra walk for never re-hashing fact bodies.
-pub(crate) fn fact_hash(pred: &Pred) -> u64 {
+///
+/// The hash is independent of the interner: uninterpreted symbols hash as
+/// first-occurrence indices and interpreted symbols hash by their spelled
+/// name, never by interner id. Two processes interning symbols in different
+/// orders therefore agree on every fact hash, which is what lets downstream
+/// content-addressed caches key on these values directly.
+pub fn fact_hash(pred: &Pred) -> u64 {
     let mut idx = Indexer::default();
     let mut state = std::collections::hash_map::DefaultHasher::new();
     hash_pred(pred, &mut idx, &mut state);
@@ -73,12 +79,9 @@ pub(crate) fn fact_hash(pred: &Pred) -> u64 {
 /// Hashes a query from the goal and the facts' precomputed [`fact_hash`]es.
 /// Fact hashes must be supplied in a deterministic order (the solver uses
 /// fact-id order, which follows assumption order and therefore lines up
-/// between structurally parallel scopes).
-pub(crate) fn query_hash<H: Hasher>(
-    fact_hashes: impl Iterator<Item = u64>,
-    goal: &Pred,
-    state: &mut H,
-) {
+/// between structurally parallel scopes). Like [`fact_hash`], the result is
+/// interner-independent.
+pub fn query_hash<H: Hasher>(fact_hashes: impl Iterator<Item = u64>, goal: &Pred, state: &mut H) {
     let mut idx = Indexer::default();
     hash_pred(goal, &mut idx, state);
     for h in fact_hashes {
@@ -137,7 +140,9 @@ fn hash_term<H: Hasher>(t: &Term, idx: &mut Indexer, state: &mut H) {
         Term::App { func, args } => {
             1u8.hash(state);
             if is_interpreted(*func) {
-                func.hash(state);
+                // By name, not by interner id: keeps the hash stable across
+                // processes that interned symbols in different orders.
+                func.as_str().hash(state);
             } else {
                 idx.index(*func).hash(state);
             }

@@ -70,7 +70,7 @@
 //! pipeline to the naive one ([`SolverConfig::naive`]), and
 //! `lilac-bench` measures the end-to-end speedup on the bundled designs.
 
-mod alpha;
+pub mod alpha;
 pub mod expr;
 pub mod model;
 pub mod persist;

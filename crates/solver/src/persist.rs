@@ -109,6 +109,96 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Generic checksummed envelope
+// ---------------------------------------------------------------------------
+
+/// Wraps a serialized payload in the self-validating envelope shared by
+/// every on-disk image in the workspace (the solver's query cache, the
+/// service's report cache): magic, version, payload length, FNV-1a checksum,
+/// then the payload itself. Equal payloads produce equal images.
+pub fn seal_image(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut image = Vec::with_capacity(HEADER_LEN + payload.len());
+    image.extend_from_slice(magic);
+    image.extend_from_slice(&version.to_le_bytes());
+    image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    image.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    image.extend_from_slice(payload);
+    image
+}
+
+/// Validates an envelope produced by [`seal_image`] under the same magic and
+/// version and returns the payload slice.
+///
+/// # Errors
+///
+/// Wrong magic, unsupported version, truncation, trailing bytes, and
+/// checksum mismatch each surface as their [`CacheLoadError`] variant; this
+/// function never panics on bad input.
+pub fn open_image<'a>(
+    magic: &[u8; 8],
+    version: u32,
+    bytes: &'a [u8],
+) -> Result<&'a [u8], CacheLoadError> {
+    if bytes.len() < HEADER_LEN {
+        // Distinguish "cut short" from "never ours": a proper prefix of the
+        // magic still reads as truncation.
+        let head = &bytes[..bytes.len().min(8)];
+        return if magic.starts_with(head) {
+            Err(CacheLoadError::Truncated)
+        } else {
+            Err(CacheLoadError::BadMagic)
+        };
+    }
+    if &bytes[0..8] != magic {
+        return Err(CacheLoadError::BadMagic);
+    }
+    let found = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if found != version {
+        return Err(CacheLoadError::UnsupportedVersion(found));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() < payload_len {
+        return Err(CacheLoadError::Truncated);
+    }
+    if payload.len() > payload_len {
+        return Err(CacheLoadError::Malformed("trailing bytes after payload"));
+    }
+    if fnv1a(payload) != checksum {
+        return Err(CacheLoadError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+/// Writes an image to `path` via a sibling temp file and an atomic rename,
+/// so a crash mid-write cannot leave a half-written image under the real
+/// name.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_image(path: &Path, image: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, image)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Moves an invalid image aside to `<path>.quarantined`, deleting it if even
+/// the move fails. Returns where the bad file went (`None` if deleted).
+pub fn quarantine_image(path: &Path) -> Option<PathBuf> {
+    let quarantine = quarantine_path(path);
+    match std::fs::rename(path, &quarantine) {
+        Ok(()) => Some(quarantine),
+        Err(_) => {
+            let _ = std::fs::remove_file(path);
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
 
@@ -356,14 +446,7 @@ impl SharedCache {
                 w.outcome(outcome);
             }
         }
-        let payload = w.out;
-        let mut image = Vec::with_capacity(HEADER_LEN + payload.len());
-        image.extend_from_slice(CACHE_MAGIC);
-        image.extend_from_slice(&CACHE_VERSION.to_le_bytes());
-        image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        image.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        image.extend_from_slice(&payload);
-        image
+        seal_image(CACHE_MAGIC, CACHE_VERSION, &w.out)
     }
 
     /// Validates and deserializes an image produced by
@@ -375,45 +458,18 @@ impl SharedCache {
     /// version, truncation, checksum mismatch, malformed field — is returned
     /// as a [`CacheLoadError`]; this function never panics on bad input.
     pub fn from_bytes(bytes: &[u8]) -> Result<SharedCache, CacheLoadError> {
-        if bytes.len() < HEADER_LEN {
-            // Distinguish "cut short" from "never ours": a proper prefix of
-            // the magic still reads as truncation.
-            let head = &bytes[..bytes.len().min(8)];
-            return if CACHE_MAGIC.starts_with(head) {
-                Err(CacheLoadError::Truncated)
-            } else {
-                Err(CacheLoadError::BadMagic)
-            };
-        }
-        if &bytes[0..8] != CACHE_MAGIC {
-            return Err(CacheLoadError::BadMagic);
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != CACHE_VERSION {
-            return Err(CacheLoadError::UnsupportedVersion(version));
-        }
-        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
-        let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
-        let payload = &bytes[HEADER_LEN..];
-        if payload.len() < payload_len {
-            return Err(CacheLoadError::Truncated);
-        }
-        if payload.len() > payload_len {
-            return Err(CacheLoadError::Malformed("trailing bytes after payload"));
-        }
-        if fnv1a(payload) != checksum {
-            return Err(CacheLoadError::ChecksumMismatch);
-        }
+        let payload = open_image(CACHE_MAGIC, CACHE_VERSION, bytes)?;
         let mut r = Reader { bytes: payload, at: 0 };
         let cache = SharedCache::new();
         let buckets = r.u64()?;
         for _ in 0..buckets {
             // The stored bucket hash is only a grouping artifact of the
-            // writing process: interpreted function symbols hash by interner
-            // id, which another process assigns differently. Recomputing the
-            // alpha-invariant hash here re-buckets every entry for *this*
-            // process's interner, so a cache written by one run still hits
-            // in the next.
+            // writing process: [`alpha::query_hash`] is interner-independent
+            // but runs through the standard library's `DefaultHasher`, whose
+            // algorithm is not guaranteed stable across Rust releases.
+            // Recomputing the alpha-invariant hash here re-buckets every
+            // entry for *this* build's hasher, so a cache written by one run
+            // still hits in the next.
             let _stored_hash = r.u64()?;
             let entries = r.len()?;
             for _ in 0..entries {
@@ -447,10 +503,7 @@ impl SharedCache {
     /// Propagates filesystem errors.
     pub fn save(&self, path: &Path) -> std::io::Result<usize> {
         let entries = self.len();
-        let image = self.to_bytes();
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &image)?;
-        std::fs::rename(&tmp, path)?;
+        save_image(path, &self.to_bytes())?;
         Ok(entries)
     }
 
@@ -480,14 +533,7 @@ impl SharedCache {
                 (cache, CacheLoadStatus::Loaded { entries })
             }
             Err(error) => {
-                let quarantine = quarantine_path(path);
-                let moved_to = match std::fs::rename(path, &quarantine) {
-                    Ok(()) => Some(quarantine),
-                    Err(_) => {
-                        let _ = std::fs::remove_file(path);
-                        None
-                    }
-                };
+                let moved_to = quarantine_image(path);
                 (SharedCache::new(), CacheLoadStatus::Quarantined { error, moved_to })
             }
         }
