@@ -1,0 +1,234 @@
+//! Netlist lints derived from the abstract interpretation facts.
+//!
+//! Four rules, each tied to a fact the analysis proves for *all* inputs:
+//!
+//! * `truncating-width` (warning) — a register, delay, or passthrough whose
+//!   operand is wider than the node, where the dropped high bits are not
+//!   provably zero: information is silently lost on every cycle. A slice
+//!   reading entirely past its operand's width is reported under the same
+//!   code (it reads constant zeros).
+//! * `constant-comparison` (warning) — an `Eq`/`Lt` whose outcome is
+//!   statically known even though its operands are not both literal
+//!   constants: the guard it feeds can never change direction.
+//! * `dead-mux-arm` (warning) — a mux whose select is proven constant by
+//!   dataflow (not a literal `Const` select): one arm is unreachable.
+//! * `constant-net` (note) — a non-trivial net pinned to a single value but
+//!   not yet a `Const` node: `fold_known_bits` fodder, surfaced so unfolded
+//!   netlists show where logic is provably inert.
+//!
+//! Lints are ordered by node id then code, and every message is a pure
+//! function of the netlist — deterministic by construction, which is what
+//! lets CI diff `lilac-fuzz --lint` output against a golden baseline.
+
+use crate::{mux_select, Analysis};
+use lilac_ir::{Netlist, NodeId, NodeKind};
+use lilac_util::diag::{Diagnostic, DiagnosticKind};
+use lilac_util::span::Span;
+
+/// A single lint finding on one net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lint {
+    /// Severity (`Warning` for the three behavioural rules, `Note` for
+    /// unfolded constants).
+    pub severity: DiagnosticKind,
+    /// Stable machine-readable rule name.
+    pub code: &'static str,
+    /// The net the finding is anchored on.
+    pub node: NodeId,
+    /// Human-readable, deterministic message.
+    pub message: String,
+}
+
+impl Lint {
+    /// Converts to the workspace diagnostic type (spanless: netlists carry
+    /// instance paths, not source spans).
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic {
+            kind: self.severity,
+            message: format!("[{}] {}", self.code, self.message),
+            span: Span::dummy(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// One-line rendering used by `lilac-fuzz --lint` and the golden
+    /// baseline: `severity [code] node: message`.
+    pub fn render(&self) -> String {
+        format!("{} [{}] {}: {}", self.severity, self.code, self.node, self.message)
+    }
+}
+
+/// Runs [`crate::analyze`] and then [`lint_with`].
+///
+/// # Errors
+///
+/// Propagates the analysis preconditions (valid netlist, no combinational
+/// cycle).
+pub fn lint(netlist: &Netlist) -> Result<Vec<Lint>, String> {
+    let analysis = crate::analyze(netlist)?;
+    Ok(lint_with(netlist, &analysis))
+}
+
+/// Applies every lint rule against precomputed facts.
+pub fn lint_with(netlist: &Netlist, analysis: &Analysis) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for (id, node) in netlist.iter() {
+        let fact = analysis.fact(id);
+        let m = lilac_ir::mask(u64::MAX, node.width);
+        // truncating-width: pass-through-shaped nodes narrower than their
+        // data operand, with possibly-set bits above the node's mask.
+        let data_operand = match node.kind {
+            NodeKind::Reg | NodeKind::RegEn | NodeKind::Delay(_) | NodeKind::Mux => {
+                // For a mux both arms matter; check each.
+                if matches!(node.kind, NodeKind::Mux) {
+                    None
+                } else {
+                    node.inputs.first().copied()
+                }
+            }
+            _ => None,
+        };
+        let arm_operands: &[NodeId] = match node.kind {
+            NodeKind::Mux => &node.inputs[1..3],
+            _ => &[],
+        };
+        for &op in data_operand.iter().chain(arm_operands) {
+            let opn = netlist.node(op);
+            if opn.width > node.width && (!analysis.fact(op).zeros) & !m != 0 {
+                lints.push(Lint {
+                    severity: DiagnosticKind::Warning,
+                    code: "truncating-width",
+                    node: id,
+                    message: format!(
+                        "`{}` ({} bits) truncates operand `{}` ({} bits) whose dropped bits are not provably zero",
+                        node.name, node.width, opn.name, opn.width
+                    ),
+                });
+            }
+        }
+        if let NodeKind::Slice { lo } = node.kind {
+            let opn = netlist.node(node.inputs[0]);
+            if lo >= opn.width {
+                lints.push(Lint {
+                    severity: DiagnosticKind::Warning,
+                    code: "truncating-width",
+                    node: id,
+                    message: format!(
+                        "`{}` slices [{}, {}) entirely past operand `{}` ({} bits); it reads constant zero",
+                        node.name,
+                        lo,
+                        lo + node.width,
+                        opn.name,
+                        opn.width
+                    ),
+                });
+            }
+        }
+        // constant-comparison: a decided Eq/Lt over non-literal operands.
+        let mut reported_const = false;
+        if matches!(node.kind, NodeKind::Eq | NodeKind::Lt) {
+            let all_literal =
+                node.inputs.iter().all(|&i| matches!(netlist.node(i).kind, NodeKind::Const(_)));
+            if let Some(outcome) = fact.as_const() {
+                if !all_literal {
+                    reported_const = true;
+                    lints.push(Lint {
+                        severity: DiagnosticKind::Warning,
+                        code: "constant-comparison",
+                        node: id,
+                        message: format!(
+                            "comparison `{}` is always {}",
+                            node.name,
+                            if outcome == 0 { "false" } else { "true" }
+                        ),
+                    });
+                }
+            }
+        }
+        // dead-mux-arm: select decided by dataflow, not by a literal const.
+        if matches!(node.kind, NodeKind::Mux) {
+            let sel = node.inputs[0];
+            if !matches!(netlist.node(sel).kind, NodeKind::Const(_)) {
+                if let Some(taken) = mux_select(&analysis.fact(sel)) {
+                    let (kept, dead) =
+                        if taken { ("first", "second") } else { ("second", "first") };
+                    lints.push(Lint {
+                        severity: DiagnosticKind::Warning,
+                        code: "dead-mux-arm",
+                        node: id,
+                        message: format!(
+                            "mux `{}` always takes its {kept} arm; the {dead} arm is dead",
+                            node.name
+                        ),
+                    });
+                }
+            }
+        }
+        // constant-net: pinned by dataflow but not yet folded.
+        if !reported_const && !matches!(node.kind, NodeKind::Const(_) | NodeKind::Input(_)) {
+            if let Some(c) = fact.as_const() {
+                lints.push(Lint {
+                    severity: DiagnosticKind::Note,
+                    code: "constant-net",
+                    node: id,
+                    message: format!("net `{}` is the constant {c} but not folded", node.name),
+                });
+            }
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lilac_ir::Netlist;
+
+    #[test]
+    fn rules_fire_and_render_deterministically() {
+        let mut n = Netlist::new("t");
+        let x = n.add_input("x", 8);
+        let narrow = n.add_node(NodeKind::Reg, vec![x], 4, "narrow");
+        let c12 = n.add_const(12, 4);
+        let three = n.add_const(3, 8);
+        let masked = n.add_node(NodeKind::And, vec![x, three], 8, "masked"); // [0, 3]
+        let lt = n.add_node(NodeKind::Lt, vec![masked, c12], 1, "lt"); // always true
+        let mux = n.add_node(NodeKind::Mux, vec![lt, x, masked], 8, "mux");
+        n.add_output("r", narrow);
+        n.add_output("m", mux);
+        let lints = lint(&n).unwrap();
+        let codes: Vec<&str> = lints.iter().map(|l| l.code).collect();
+        assert!(codes.contains(&"truncating-width"), "narrow reg must fire: {codes:?}");
+        assert!(codes.contains(&"constant-comparison"), "decided lt must fire: {codes:?}");
+        assert!(codes.contains(&"dead-mux-arm"), "pinned mux select must fire: {codes:?}");
+        assert_eq!(lint(&n).unwrap(), lints, "linting is deterministic");
+        for l in &lints {
+            assert!(!l.render().is_empty());
+            assert!(l.to_diagnostic().message.starts_with(&format!("[{}]", l.code)));
+        }
+    }
+
+    #[test]
+    fn constant_net_fires_as_note() {
+        let mut n = Netlist::new("t");
+        let a = n.add_const(2, 4);
+        let b = n.add_const(3, 4);
+        let add = n.add_node(NodeKind::Add, vec![a, b], 4, "add");
+        n.add_output("o", add);
+        let lints = lint(&n).unwrap();
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].code, "constant-net");
+        assert_eq!(lints[0].severity, DiagnosticKind::Note);
+    }
+
+    #[test]
+    fn clean_netlist_has_no_lints() {
+        let mut n = Netlist::new("t");
+        let x = n.add_input("x", 8);
+        let y = n.add_input("y", 8);
+        let add = n.add_node(NodeKind::Add, vec![x, y], 8, "add");
+        let r = n.add_node(NodeKind::Reg, vec![add], 8, "r");
+        n.add_output("o", r);
+        assert!(lint(&n).unwrap().is_empty());
+    }
+}

@@ -187,7 +187,7 @@ impl ParamExpr {
             ParamExpr::Param(_) | ParamExpr::InstAccess { .. } => false,
             ParamExpr::Bin(_, a, b) => a.is_constant() && b.is_constant(),
             ParamExpr::Un(_, a) => a.is_constant(),
-            ParamExpr::CompAccess { args, .. } => args.iter().all(|a| a.is_constant()),
+            ParamExpr::CompAccess { args, .. } => args.iter().all(ParamExpr::is_constant),
             ParamExpr::Cond(c, a, b) => c.is_constant() && a.is_constant() && b.is_constant(),
         }
     }

@@ -68,7 +68,7 @@ impl Parser {
     }
 
     fn peek2_kind(&self) -> TokenKind {
-        self.tokens.get(self.pos + 1).map(|t| t.kind).unwrap_or(TokenKind::Eof)
+        self.tokens.get(self.pos + 1).map_or(TokenKind::Eof, |t| t.kind)
     }
 
     fn bump(&mut self) -> Token {

@@ -4,8 +4,9 @@
 //! `--json <path>` additionally writes the machine-readable
 //! `BENCH_figure8.json` run report (used by the CI timing smoke job): the
 //! Figure 8 check times plus per-netlist optimizer node counts, retiming
-//! fmax deltas, and incremental re-checking hit rates — one diffable JSON
-//! document per run, so perf trajectories are comparable across PRs.
+//! fmax deltas, incremental re-checking hit rates, and per-target
+//! static-analysis lint counts — one diffable JSON document per run, so
+//! perf trajectories are comparable across PRs.
 //!
 //! `--check` validates that the run actually measured something — every
 //! design must have discharged obligations through real solver queries and
@@ -97,7 +98,7 @@ fn main() {
     let rows = lilac_bench::figure8().expect("figure 8 harness");
     println!("Figure 8: Type checker performance");
     println!(
-        "{:<30} {:>7} {:>10} {:>12} {:>8} {:>7} {:>9} {:>7} {:>13} {:>12}",
+        "{:<30} {:>7} {:>10} {:>12} {:>8} {:>7} {:>9} {:>7} {:>6} {:>13} {:>12}",
         "Design",
         "Lines",
         "Time (ms)",
@@ -106,12 +107,13 @@ fn main() {
         "Hits",
         "Hit-rate",
         "Cubes",
+        "Lints",
         "Paper lines",
         "Paper (ms)"
     );
     for row in &rows {
         println!(
-            "{:<30} {:>7} {:>10.1} {:>12} {:>8} {:>7} {:>8.0}% {:>7} {:>13} {:>12}",
+            "{:<30} {:>7} {:>10.1} {:>12} {:>8} {:>7} {:>8.0}% {:>7} {:>6} {:>13} {:>12}",
             row.design.name(),
             row.lines,
             row.check_time.as_secs_f64() * 1000.0,
@@ -120,8 +122,9 @@ fn main() {
             row.solver.cache_hits,
             row.solver.cache_hit_rate() * 100.0,
             row.solver.cubes,
-            row.paper_lines.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
-            row.paper_time_ms.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            row.lints,
+            row.paper_lines.map_or_else(|| "-".into(), |l| l.to_string()),
+            row.paper_time_ms.map_or_else(|| "-".into(), |t| t.to_string()),
         );
     }
     println!("\nNote: the bundled designs are smaller than the paper's (the reproduction");
@@ -139,11 +142,12 @@ fn main() {
             std::fs::write(&path, lilac_bench::run_report_json(&report))
                 .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             println!(
-                "\nwrote {path} ({} figure8 rows, {} netlists, {} retiming rows, {} incremental rows)",
+                "\nwrote {path} ({} figure8 rows, {} netlists, {} retiming rows, {} incremental rows, {} lint targets)",
                 report.figure8.len(),
                 report.netlists.len(),
                 report.retiming.len(),
-                report.incremental.len()
+                report.incremental.len(),
+                report.lints.len()
             );
         } else if arg == "--check" {
             check = true;

@@ -5,7 +5,8 @@ fn main() {
     println!("Table 3: Generators integrated with Lilac and features needed");
     println!("{:<14} Features", "Generator");
     for row in lilac_bench::table3() {
-        let features: Vec<String> = row.features.iter().map(|f| f.to_string()).collect();
+        let features: Vec<String> =
+            row.features.iter().map(std::string::ToString::to_string).collect();
         println!("{:<14} {}", row.generator, features.join(", "));
     }
 }

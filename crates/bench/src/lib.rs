@@ -169,6 +169,9 @@ pub struct Figure8Row {
     pub paper_lines: Option<usize>,
     /// The paper's reported time in milliseconds, if reported.
     pub paper_time_ms: Option<u64>,
+    /// Static-analysis lints on the design's representative top netlist
+    /// (attached to the check report's matching `ComponentReport`).
+    pub lints: usize,
 }
 
 /// Regenerates Figure 8: type-checker performance on the bundled designs
@@ -191,7 +194,11 @@ pub fn figure8_with(options: &CheckOptions) -> Result<Vec<Figure8Row>> {
     let mut rows = Vec::new();
     for design in Design::all() {
         let program = design.program()?;
-        let report = check_program_with(&program, options)?;
+        let mut report = check_program_with(&program, options)?;
+        // Surface the static analyzer's netlist lints on the design's
+        // representative top through the component report.
+        let lints = lilac_fuzz::lint::attach_design_lints(design, &mut report)
+            .map_err(lilac_util::diag::LilacError::msg)?;
         rows.push(Figure8Row {
             design,
             lines: design.line_count(),
@@ -200,6 +207,7 @@ pub fn figure8_with(options: &CheckOptions) -> Result<Vec<Figure8Row>> {
             solver: report.solver_stats(),
             paper_lines: design.paper_lines(),
             paper_time_ms: design.paper_time_ms(),
+            lints,
         });
     }
     Ok(rows)
@@ -224,7 +232,7 @@ fn figure8_json_section(out: &mut String, rows: &[Figure8Row]) {
         out.push_str(&format!(
             "    {{\"design\": \"{}\", \"lines\": {}, \"check_time_us\": {}, \"obligations\": {}, \
              \"queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.3}, \
-             \"cubes\": {}, \"facts_sliced_out\": {}, \"eq_guard_bailouts\": {}}}{}\n",
+             \"cubes\": {}, \"facts_sliced_out\": {}, \"eq_guard_bailouts\": {}, \"lints\": {}}}{}\n",
             row.design.name().replace('"', "'"),
             row.lines,
             row.check_time.as_micros(),
@@ -236,6 +244,7 @@ fn figure8_json_section(out: &mut String, rows: &[Figure8Row]) {
             s.cubes,
             s.facts_sliced_out,
             s.eq_guard_bailouts,
+            row.lints,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -306,11 +315,55 @@ pub fn incremental_report() -> Result<Vec<IncrementalRow>> {
     Ok(rows)
 }
 
+/// One row of the static-analysis lint exhibit: a target of the canonical
+/// lint surface (`lilac_fuzz::lint::targets`) with its findings bucketed
+/// by severity. The same surface CI's lint-smoke step diffs against the
+/// golden baseline, summarized per target for the trajectory artifact.
+#[derive(Clone, Debug)]
+pub struct LintRow {
+    /// Stable target name (baseline key).
+    pub target: String,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// Note-severity findings.
+    pub notes: usize,
+}
+
+/// Runs the static analyzer's lint pass over the canonical surface —
+/// bundled designs, LA/LI wrapper glue, pinned corpus — and summarizes
+/// each target's findings by severity.
+///
+/// # Errors
+///
+/// Propagates elaboration or analysis errors from the lint surface (none
+/// expected on a clean tree).
+pub fn lint_rows() -> Result<Vec<LintRow>> {
+    let targets = lilac_fuzz::lint::targets().map_err(lilac_util::diag::LilacError::msg)?;
+    let mut rows = Vec::new();
+    for target in &targets {
+        let lints =
+            lilac_fuzz::lint::lint_target(target).map_err(lilac_util::diag::LilacError::msg)?;
+        rows.push(LintRow {
+            target: target.name.clone(),
+            warnings: lints
+                .iter()
+                .filter(|l| l.severity == lilac_util::diag::DiagnosticKind::Warning)
+                .count(),
+            notes: lints
+                .iter()
+                .filter(|l| l.severity == lilac_util::diag::DiagnosticKind::Note)
+                .count(),
+        });
+    }
+    Ok(rows)
+}
+
 /// Everything one benchmark run measures, in machine-readable form: the
 /// per-PR perf trajectory CI serializes to `BENCH_figure8.json` via
 /// [`run_report_json`]. Check-time comes from the Figure 8 rows, node
-/// counts from the optimizer, fmax from the retimer's timing model, and
-/// the incremental hit-rate from the content-addressed re-checker.
+/// counts from the optimizer, fmax from the retimer's timing model, the
+/// incremental hit-rate from the content-addressed re-checker, and the
+/// lint counts from the static known-bits/interval analysis.
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// Figure 8: per-design type-check time and solver effort.
@@ -322,6 +375,8 @@ pub struct RunReport {
     pub retiming: Vec<RetimeRow>,
     /// Per-design incremental re-checking hit rates.
     pub incremental: Vec<IncrementalRow>,
+    /// Per-target static-analysis lint counts over the canonical surface.
+    pub lints: Vec<LintRow>,
 }
 
 /// Assembles a [`RunReport`] around already-measured Figure 8 rows (so the
@@ -340,13 +395,14 @@ pub fn run_report(figure8: Vec<Figure8Row>) -> Result<RunReport> {
         netlists,
         retiming: retiming_report(1)?,
         incremental: incremental_report()?,
+        lints: lint_rows()?,
     })
 }
 
 /// Serializes a [`RunReport`] as the `BENCH_*.json` artifact: one JSON
-/// document with `figure8`, `netlists`, `retiming`, and `incremental`
-/// sections, stable field names, and times in integer microseconds — so
-/// per-PR trajectories diff cleanly.
+/// document with `figure8`, `netlists`, `retiming`, `incremental`, and
+/// `lints` sections, stable field names, and times in integer
+/// microseconds — so per-PR trajectories diff cleanly.
 pub fn run_report_json(report: &RunReport) -> String {
     let mut out = String::from("{\n  \"schema\": \"lilac-bench-run/v1\",\n");
     figure8_json_section(&mut out, &report.figure8);
@@ -392,6 +448,16 @@ pub fn run_report_json(report: &RunReport) -> String {
             row.warm_misses,
             row.warm_hit_rate(),
             if i + 1 == report.incremental.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"lints\": [\n");
+    for (i, row) in report.lints.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"target\": \"{}\", \"warnings\": {}, \"notes\": {}}}{}\n",
+            row.target.replace('"', "'"),
+            row.warnings,
+            row.notes,
+            if i + 1 == report.lints.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -956,12 +1022,10 @@ pub fn flopoco_latency_sweep(width: u64) -> Vec<(u32, u64, u64)> {
         let goals = GenGoals { target_mhz: mhz, ..GenGoals::default() };
         let add = lilac_gen::tools::FloPoCo
             .generate(&GenRequest::new("flopoco", "FPAdd").with_param("W", width).with_goals(goals))
-            .map(|r| r.out_param("L").unwrap_or(1))
-            .unwrap_or(1);
+            .map_or(1, |r| r.out_param("L").unwrap_or(1));
         let mul = lilac_gen::tools::FloPoCo
             .generate(&GenRequest::new("flopoco", "FPMul").with_param("W", width).with_goals(goals))
-            .map(|r| r.out_param("L").unwrap_or(1))
-            .unwrap_or(1);
+            .map_or(1, |r| r.out_param("L").unwrap_or(1));
         rows.push((mhz, add, mul));
     }
     rows
@@ -1192,14 +1256,25 @@ mod tests {
             report.incremental.iter().any(|r| r.warm_misses == 0),
             "no design achieved a 100% warm hit rate"
         );
+        // The lint section covers the whole canonical surface and is
+        // populated: the never-stall wrapper glue carries the documented
+        // skid-buffer findings.
+        assert!(report.lints.len() > designs, "lint surface wider than the designs alone");
+        assert!(
+            report.lints.iter().any(|r| r.warnings + r.notes > 0),
+            "no lint target reported any finding"
+        );
         let json = run_report_json(&report);
         assert!(json.contains("\"schema\": \"lilac-bench-run/v1\""));
-        for section in ["\"figure8\"", "\"netlists\"", "\"retiming\"", "\"incremental\""] {
+        for section in
+            ["\"figure8\"", "\"netlists\"", "\"retiming\"", "\"incremental\"", "\"lints\""]
+        {
             assert!(json.contains(section), "missing section {section}");
         }
         assert!(json.contains("warm_hit_rate"));
         assert!(json.contains("fmax_after_mhz"));
         assert!(json.contains("nodes_after"));
+        assert!(json.contains("\"notes\""));
     }
 
     #[test]

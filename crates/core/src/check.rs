@@ -60,6 +60,11 @@ pub struct ComponentReport {
     /// supplied the verdict. Like timing and stats, this describes *how*
     /// the answer was reached, so [`CheckReport::equivalent`] ignores it.
     pub degraded: Option<CheckError>,
+    /// Netlist-level lints from the static known-bits/interval analysis
+    /// (`lilac-analysis`), attached after elaboration by callers that
+    /// lower the component — the type checker itself never sees a
+    /// netlist. Advisory, so [`CheckReport::equivalent`] ignores it.
+    pub lints: Vec<Diagnostic>,
 }
 
 impl ComponentReport {
@@ -80,7 +85,7 @@ pub struct CheckReport {
 impl CheckReport {
     /// True if every component checked without errors.
     pub fn is_ok(&self) -> bool {
-        self.components.iter().all(|c| c.is_ok())
+        self.components.iter().all(ComponentReport::is_ok)
     }
 
     /// Total number of obligations across all components.
@@ -235,6 +240,7 @@ pub(crate) fn panic_report(module: &Module, panic: &WorkerPanic) -> ComponentRep
         elapsed: Duration::ZERO,
         solver_stats: SolverStats::default(),
         degraded: None,
+        lints: Vec::new(),
     }
 }
 
@@ -260,6 +266,7 @@ pub fn check_component_with(
         diagnostics: checker.reporter.into_diagnostics(),
         elapsed: start.elapsed(),
         degraded: None,
+        lints: Vec::new(),
     }
 }
 
@@ -862,7 +869,7 @@ impl<'a> Checker<'a> {
         }
         // Record the invocation for resource-safety checking.
         let delay =
-            callee.primary_event().map(|e| e.delay.clone()).unwrap_or(lilac_ast::ParamExpr::Nat(1));
+            callee.primary_event().map_or(lilac_ast::ParamExpr::Nat(1), |e| e.delay.clone());
         let callee_env = self.callee_env(&inv, callee);
         let delay_l = match lower_param_expr_with(&delay, &callee_env, self) {
             Some(e) => e,
@@ -1453,11 +1460,8 @@ impl<'a> Checker<'a> {
     }
 
     fn check_resource_safety(&mut self) {
-        let own_delay = self
-            .sig
-            .primary_event()
-            .map(|e| e.delay.clone())
-            .unwrap_or(lilac_ast::ParamExpr::Nat(1));
+        let own_delay =
+            self.sig.primary_event().map_or(lilac_ast::ParamExpr::Nat(1), |e| e.delay.clone());
         let own_delay = match lower_param_expr(&own_delay, &self.env()) {
             Ok(l) => l.expr,
             Err(_) => LinExpr::constant(1),

@@ -83,7 +83,7 @@ impl<'p> CompLibrary<'p> {
             .modules
             .iter()
             .filter(|m| matches!(m.kind, ModuleKind::Comp { .. }))
-            .map(|m| m.name())
+            .map(lilac_ast::Module::name)
             .collect()
     }
 

@@ -164,8 +164,8 @@ pub fn detect_features(sig: &Signature) -> BTreeSet<GeneratorFeature> {
                 let mut ep = Vec::new();
                 s.collect_params(&mut sp);
                 e.collect_params(&mut ep);
-                let sp: BTreeSet<&str> = sp.iter().map(|i| i.as_str()).collect();
-                let ep: BTreeSet<&str> = ep.iter().map(|i| i.as_str()).collect();
+                let sp: BTreeSet<&str> = sp.iter().map(lilac_ast::Ident::as_str).collect();
+                let ep: BTreeSet<&str> = ep.iter().map(lilac_ast::Ident::as_str).collect();
                 if ep.difference(&sp).next().is_some() {
                     features.insert(GeneratorFeature::MultiCycleInterval);
                 }

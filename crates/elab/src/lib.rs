@@ -215,7 +215,7 @@ impl<'a> Elaborator<'a> {
             .map(|p| p.name.to_string())
             .collect();
         let out_name =
-            sig.outputs.first().map(|p| p.name.to_string()).unwrap_or_else(|| "out".to_string());
+            sig.outputs.first().map_or_else(|| "out".to_string(), |p| p.name.to_string());
 
         let mut netlist = Netlist::new(format!("{name}_{width}"));
         let kind = match name {
@@ -811,7 +811,8 @@ impl EvalEnv {
         if self.loop_suffix.is_empty() {
             name.as_str().to_string()
         } else {
-            let suffix: Vec<String> = self.loop_suffix.iter().map(|k| k.to_string()).collect();
+            let suffix: Vec<String> =
+                self.loop_suffix.iter().map(std::string::ToString::to_string).collect();
             format!("{name}#{}", suffix.join("_"))
         }
     }

@@ -59,6 +59,7 @@
 //! fingerprint.
 
 pub mod corpus;
+pub mod lint;
 pub mod mutate;
 pub mod oracle;
 pub mod scenario;

@@ -34,6 +34,10 @@
 //!   verdicts across cases. Verdicts — and therefore stdout and the
 //!   fingerprint — must not change; report-cache hit/miss statistics go to
 //!   stderr
+//! * `--lint` — print the deterministic static-analysis lint report over
+//!   the canonical surface (bundled designs, LA/LI wrapper glue, pinned
+//!   corpus) and exit; CI diffs this against
+//!   `crates/fuzz/tests/lint_baseline.txt`
 
 use lilac_fuzz::{run_fuzz_with_progress, FuzzConfig};
 use std::io::Write;
@@ -48,6 +52,7 @@ struct Args {
     emit_retime_corpus: Option<PathBuf>,
     corpus_count: Option<usize>,
     replay: Option<u64>,
+    lint: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         emit_retime_corpus: None,
         corpus_count: None,
         replay: None,
+        lint: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -65,35 +71,36 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--cases" => {
                 args.config.cases =
-                    value("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?
+                    value("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?;
             }
             "--seed" => {
-                args.config.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                args.config.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
             "--no-shrink" => args.config.shrink = false,
             "--max-failures" => {
                 args.config.max_failures =
-                    value("--max-failures")?.parse().map_err(|e| format!("--max-failures: {e}"))?
+                    value("--max-failures")?.parse().map_err(|e| format!("--max-failures: {e}"))?;
             }
             "--replay" => {
                 args.replay =
-                    Some(value("--replay")?.parse().map_err(|e| format!("--replay: {e}"))?)
+                    Some(value("--replay")?.parse().map_err(|e| format!("--replay: {e}"))?);
             }
             "--faults" => {
                 args.config.faults =
-                    Some(value("--faults")?.parse().map_err(|e| format!("--faults: {e}"))?)
+                    Some(value("--faults")?.parse().map_err(|e| format!("--faults: {e}"))?);
             }
             "--cache-file" => args.config.cache_file = Some(PathBuf::from(value("--cache-file")?)),
             "--incremental" => args.config.incremental = true,
+            "--lint" => args.lint = true,
             "--failures" => args.failures_dir = Some(PathBuf::from(value("--failures")?)),
             "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus")?)),
             "--emit-retime-corpus" => {
-                args.emit_retime_corpus = Some(PathBuf::from(value("--emit-retime-corpus")?))
+                args.emit_retime_corpus = Some(PathBuf::from(value("--emit-retime-corpus")?));
             }
             "--corpus-count" => {
                 args.corpus_count = Some(
                     value("--corpus-count")?.parse().map_err(|e| format!("--corpus-count: {e}"))?,
-                )
+                );
             }
             "--help" | "-h" => {
                 println!(
@@ -101,7 +108,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20                 [--faults SEED] [--cache-file PATH] [--incremental]\n\
                      \x20                 [--failures DIR] [--emit-corpus DIR]\n\
                      \x20                 [--emit-retime-corpus DIR] [--corpus-count N]\n\
-                     \x20                 [--replay CASE_SEED]"
+                     \x20                 [--replay CASE_SEED] [--lint]"
                 );
                 std::process::exit(0);
             }
@@ -119,6 +126,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.lint {
+        // The deterministic lint report over the canonical surface; output
+        // is a pure function of the repository, so CI diffs it against the
+        // checked-in golden baseline.
+        return match lilac_fuzz::lint::report() {
+            Ok(lines) => {
+                for line in &lines {
+                    println!("{line}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let emit = |dir: &PathBuf, files: &[(String, String)], what: &str| -> Result<(), ExitCode> {
         if let Err(e) = std::fs::create_dir_all(dir) {

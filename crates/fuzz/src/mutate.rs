@@ -246,7 +246,7 @@ fn rewrite_cmd(cmd: &mut Cmd, f: &mut impl FnMut(&mut Ident)) {
             rewrite_param_expr(width, f);
         }
         Cmd::Assume { constraint, .. } | Cmd::Assert { constraint, .. } => {
-            rewrite_constraint(constraint, f)
+            rewrite_constraint(constraint, f);
         }
         Cmd::If { cond, then_body, else_body, .. } => {
             rewrite_constraint(cond, f);

@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! Every generated case is pushed through ten independent cross-checks:
+//! Every generated case is pushed through eleven independent cross-checks:
 //!
 //! 1. **Checker A/B** — the optimized obligation-discharge pipeline
 //!    (slicing + caching + indexed scopes), the serial variant, a variant
@@ -68,6 +68,15 @@
 //!     content hash is alpha-, order-, and location-invariant by
 //!     construction, and a single miss there is a hash instability. Active
 //!     on generated cases and on every corpus replay.
+//! 11. **Abstract interpretation** — the known-bits + interval analysis
+//!     (`lilac_analysis::analyze`) run once over the raw netlist; inside
+//!     the same lockstep loop, every concretely simulated value on every
+//!     net, every cycle, must be contained in its abstract fact, and in
+//!     the batched half every output must stay contained in every lane
+//!     (derived random lanes included). This is the soundness proof
+//!     harness for the transfer functions the `fold_known_bits` pass and
+//!     the lint surface both build on. Active on generated cases and on
+//!     every corpus replay.
 //!
 //! All simulation engines are driven through the one [`SimBackend`]
 //! contract, so adding an engine is one [`Engine`] constructor — not
@@ -183,7 +192,7 @@ impl Session {
 
     /// Number of entries accumulated in the shared cache.
     pub fn shared_cache_entries(&self) -> usize {
-        self.shared.as_ref().map(SharedCache::len).unwrap_or(0)
+        self.shared.as_ref().map_or(0, SharedCache::len)
     }
 
     /// The session's check service, when one is running.
@@ -319,12 +328,10 @@ fn round_trip(synth: &Synthesized) -> Result<(), Failure> {
         .map_err(|e| Failure::new("round-trip-parse", format!("{e}\n---\n{printed}")))?;
     let reprinted = lilac_ast::printer::print_program(&reparsed);
     if printed != reprinted {
-        let diff = printed
-            .lines()
-            .zip(reprinted.lines())
-            .find(|(a, b)| a != b)
-            .map(|(a, b)| format!("first differing line:\n  printed:   {a}\n  reprinted: {b}"))
-            .unwrap_or_else(|| "programs differ in length".to_string());
+        let diff = printed.lines().zip(reprinted.lines()).find(|(a, b)| a != b).map_or_else(
+            || "programs differ in length".to_string(),
+            |(a, b)| format!("first differing line:\n  printed:   {a}\n  reprinted: {b}"),
+        );
         return Err(Failure::new("round-trip-print", diff));
     }
     if reparsed.modules.len() != synth.program.modules.len() {
@@ -549,6 +556,24 @@ pub(crate) fn drive_netlist(
     let compiled = CompiledSim::new(netlist)
         .map_err(|e| Failure::new("compiled", format!("netlist failed to compile: {e}")))?;
 
+    // Oracle 11: the abstract interpretation of the raw netlist. Computed
+    // once up front (no RNG draws, no extra cycles — the fingerprint must
+    // not move); the drive loop below then checks every concretely
+    // simulated value on every net, every cycle, against its fact, and the
+    // batched half checks every output in every lane. A panic inside the
+    // analyzer is converted into a shrinkable failure like any other.
+    let analysis =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| lilac_analysis::analyze(netlist)))
+            .map_err(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| p.downcast_ref::<&str>().copied())
+                    .unwrap_or("analyzer panicked");
+                Failure::new("analysis", format!("analyzer panicked: {msg}"))
+            })?
+            .map_err(|e| Failure::new("analysis", format!("analyzer rejected netlist: {e}")))?;
+
     let mut engines = vec![
         raw_names(Box::new(li_sim), "la-li", "LI wrapper"),
         vsim_engine,
@@ -596,6 +621,22 @@ pub(crate) fn drive_netlist(
                         ),
                     ));
                 }
+            }
+        }
+        // Oracle 11, lockstep half: every settled net value must be
+        // contained in its abstract fact.
+        let values = sim.node_values();
+        for (id, node) in netlist.iter() {
+            let value = values[id.0 as usize];
+            let fact = analysis.fact(id);
+            if !fact.contains(value) {
+                return Err(Failure::new(
+                    "analysis",
+                    format!(
+                        "net {id} (`{}`) at cycle {c}: simulated {value:#x} escapes abstract fact {fact}",
+                        node.name
+                    ),
+                ));
             }
         }
         sim.step();
@@ -681,6 +722,24 @@ pub(crate) fn drive_netlist(
                     format!(
                         "output `{name}` derived lane {lane}: compiled {:#x}, interpreter {want:#x}",
                         got[lane]
+                    ),
+                ));
+            }
+        }
+        // Oracle 11, batched half: every lane of every output must sit
+        // inside the abstract fact of the net driving it — the derived
+        // lanes carry vectors the lockstep half never drove, so the
+        // transfer functions are exercised over a wider input sample.
+        let driver = netlist
+            .output(name)
+            .unwrap_or_else(|| panic!("output `{name}` vanished from its own netlist"));
+        let fact = analysis.fact(driver);
+        for (lane, &value) in got.iter().enumerate() {
+            if !fact.contains(value) {
+                return Err(Failure::new(
+                    "analysis",
+                    format!(
+                        "output `{name}` lane {lane}: settled {value:#x} escapes abstract fact {fact}"
                     ),
                 ));
             }

@@ -20,7 +20,7 @@ fn corpus_dir() -> PathBuf {
 fn corpus_exists_and_is_substantial() {
     let entries: Vec<_> = std::fs::read_dir(corpus_dir())
         .expect("fuzz/corpus directory exists")
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .filter(|e| e.path().extension().is_some_and(|x| x == "lilac"))
         .collect();
     assert!(entries.len() >= 15, "expected a substantial corpus, found {} files", entries.len());
@@ -31,7 +31,7 @@ fn every_corpus_case_replays() {
     let mut ran = 0;
     let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
         .expect("fuzz/corpus directory exists")
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|x| x == "lilac"))
         .collect();

@@ -1,0 +1,45 @@
+//! Pins the static-analysis lint report to the checked-in golden baseline
+//! (`lint_baseline.txt`): any new or vanished lint on the canonical
+//! surface — bundled designs, LA/LI wrapper glue, pinned corpus — fails
+//! here (and in CI's lint-smoke step, which diffs `lilac-fuzz --lint`
+//! against the same file) until the baseline is regenerated and the
+//! change reviewed.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p lilac-fuzz -- --lint > crates/fuzz/tests/lint_baseline.txt
+//! ```
+
+#[test]
+fn lint_report_matches_golden_baseline() {
+    let golden_path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint_baseline.txt");
+    let golden = std::fs::read_to_string(&golden_path).expect("golden baseline exists");
+    let report = lilac_fuzz::lint::report().expect("lint surface analyzes cleanly");
+    let got: String = report.iter().map(|l| format!("{l}\n")).collect();
+    assert!(
+        got == golden,
+        "lint report diverged from {}:\n--- golden\n{golden}\n--- got\n{got}\n\
+         If the change is intended, regenerate with\n\
+         `cargo run --release -p lilac-fuzz -- --lint > crates/fuzz/tests/lint_baseline.txt`",
+        golden_path.display()
+    );
+}
+
+#[test]
+fn baseline_documents_the_known_over_emitter() {
+    // The never-stall LI glue must keep reporting the inert skid buffer —
+    // that finding is the documented `rv::auto_wrap` over-emission the
+    // optimizer's `fold_known_bits` strips. If it vanishes from the
+    // surface, either the glue was fixed (update this test and the
+    // baseline together) or the analysis lost the sequential precision
+    // that proves it (a regression).
+    let report = lilac_fuzz::lint::report().unwrap();
+    let text = report.join("\n");
+    assert!(
+        text.contains("`w.skid_valid` is the constant 0"),
+        "never-stall skid buffer no longer proven inert:\n{text}"
+    );
+    assert!(text.contains("dead-mux-arm"), "skid mux no longer proven one-sided:\n{text}");
+}

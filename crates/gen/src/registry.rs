@@ -65,7 +65,7 @@ impl GeneratorRegistry {
 
     /// Names of all registered tools.
     pub fn tool_names(&self) -> Vec<&str> {
-        self.tools.keys().map(|s| s.as_str()).collect()
+        self.tools.keys().map(std::string::String::as_str).collect()
     }
 
     /// Sets the default performance goals used when a request carries the

@@ -230,11 +230,23 @@ impl NodeKind {
                     v(2)
                 }
             }
-            NodeKind::Slice { lo } => v(0) >> lo,
+            // `lo >= 64` reads past any representable operand: constant 0
+            // (a plain `>>` would overflow the shift at the width-64 edge).
+            NodeKind::Slice { lo } => {
+                if *lo >= 64 {
+                    0
+                } else {
+                    v(0) >> lo
+                }
+            }
             NodeKind::Concat => {
                 let mut acc = 0u64;
                 for &(value, w) in operands {
-                    acc = (acc << w) | mask(value, w);
+                    // A 64-bit-wide operand fills the accumulator outright;
+                    // `acc << 64` would overflow the shift. Anything already
+                    // accumulated sits above bit 63 and is truncated by the
+                    // result mask regardless.
+                    acc = if w >= 64 { mask(value, w) } else { (acc << w) | mask(value, w) };
                 }
                 acc
             }
@@ -702,7 +714,9 @@ impl Netlist {
         prefix: &str,
     ) -> HashMap<String, NodeId> {
         let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
-        // Insert nodes in id order so operand references are already mapped.
+        // Two passes so sequential feedback loops (operands with a larger id
+        // than their consumer) inline correctly: first create every node,
+        // then wire the remapped operands.
         for (old_id, node) in other.nodes.iter_enumerated() {
             let new_id = match &node.kind {
                 NodeKind::Input(idx) => {
@@ -723,17 +737,21 @@ impl Netlist {
                     }
                     driver
                 }
-                kind => {
-                    let inputs = node.inputs.iter().map(|i| remap[i]).collect();
-                    self.add_node(
-                        kind.clone(),
-                        inputs,
-                        node.width,
-                        format!("{prefix}.{}", node.name),
-                    )
-                }
+                kind => self.add_node(
+                    kind.clone(),
+                    Vec::new(),
+                    node.width,
+                    format!("{prefix}.{}", node.name),
+                ),
             };
             remap.insert(old_id, new_id);
+        }
+        for (old_id, node) in other.nodes.iter_enumerated() {
+            if matches!(node.kind, NodeKind::Input(_)) {
+                continue;
+            }
+            let inputs = node.inputs.iter().map(|i| remap[i]).collect();
+            self.set_inputs(remap[&old_id], inputs);
         }
         other.outputs.iter().map(|(port, id)| (port.name.clone(), remap[id])).collect()
     }

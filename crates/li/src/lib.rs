@@ -173,6 +173,34 @@ pub mod rv {
         n
     }
 
+    /// Specializes a ready–valid wrapper to an environment that provably
+    /// never stalls: `valid_i` and `ready_i` are tied to constant 1 and all
+    /// other ports are re-exposed unchanged.
+    ///
+    /// This is exactly the operating condition the LA/LI differential
+    /// oracle drives ([`auto_wrap`]'s functional contract), expressed as a
+    /// netlist. Under it the skid buffer emitted by [`add_skid_buffer`] is
+    /// provably inert — its capture enable is constant zero, so both `RegEn`
+    /// registers hold their power-up value forever — which the known-bits
+    /// analysis proves and `lilac-opt`'s `fold_known_bits` strips.
+    pub fn never_stall(wrapped: &Netlist) -> Netlist {
+        let mut n = Netlist::new(format!("{}_nostall", wrapped.name));
+        let mut drivers = std::collections::HashMap::new();
+        for port in &wrapped.inputs {
+            let id = if port.name == "valid_i" || port.name == "ready_i" {
+                n.add_const(1, port.width)
+            } else {
+                n.add_input(port.name.clone(), port.width)
+            };
+            drivers.insert(port.name.clone(), id);
+        }
+        let outs = n.inline(wrapped, &drivers, "w");
+        for (port, _) in &wrapped.outputs {
+            n.add_output(port.name.clone(), outs[&port.name]);
+        }
+        n
+    }
+
     /// Rewires the first operand of a sequential node (used to close FSM and
     /// counter feedback loops after all the combinational logic exists).
     pub fn rewire_first_input(n: &mut Netlist, node: NodeId, new_input: NodeId) {

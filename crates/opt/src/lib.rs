@@ -23,6 +23,12 @@
 //!   width-preserving passthroughs of `x`, and the absorbing `x * 0`,
 //!   `x & 0` become `Const(0)` — the cases the all-const matcher cannot
 //!   see.
+//! * [`fold_known_bits`] — the analysis-fed folder: one
+//!   `lilac_analysis::analyze` sweep (known bits + unsigned intervals, the
+//!   same facts the fuzzer's eleventh oracle proves sound against live
+//!   simulation), then nets pinned to a single value become `Const`, mux
+//!   selects proven constant by dataflow narrow to one arm, and provably
+//!   zero high operands are stripped from `Concat`s.
 //! * [`simplify_muxes`] — a mux with a constant select, with identical
 //!   arms, or with two constant arms holding the same value, degenerates
 //!   to a passthrough of the surviving arm.
@@ -104,6 +110,15 @@ pub struct OptStats {
     pub subexpressions_merged: usize,
     /// Dead nodes swept by [`eliminate_dead_nodes`].
     pub dead_removed: usize,
+    /// Nets rewritten to `Const` by [`fold_known_bits`] (dataflow facts the
+    /// all-const matcher cannot see).
+    pub known_bits_folded: usize,
+    /// Mux selects proven constant by dataflow and narrowed to one arm by
+    /// [`fold_known_bits`].
+    pub mux_selects_narrowed: usize,
+    /// Provably-zero high operands stripped from `Concat` nodes by
+    /// [`fold_known_bits`].
+    pub concat_zeros_stripped: usize,
     /// Pipeline iterations until the fixpoint (at least 1).
     pub iterations: usize,
 }
@@ -125,6 +140,9 @@ impl OptStats {
             + self.delays_fused
             + self.subexpressions_merged
             + self.dead_removed
+            + self.known_bits_folded
+            + self.mux_selects_narrowed
+            + self.concat_zeros_stripped
     }
 }
 
@@ -275,6 +293,100 @@ fn apply_remap(n: &mut Netlist, mut remap: Vec<NodeId>) -> usize {
 
 /// Degenerates multiplexers: a constant select picks its arm statically,
 /// identical arms make the select irrelevant, and two *constant* arms
+/// Rewrite counts for one [`fold_known_bits`] sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KnownBitsFolds {
+    /// Nets rewritten to `Const`.
+    pub consts: usize,
+    /// Mux selects proven constant and narrowed to one arm.
+    pub mux_selects: usize,
+    /// Provably-zero high operands stripped from `Concat` nodes.
+    pub concat_zeros: usize,
+}
+
+impl KnownBitsFolds {
+    /// Total rewrites in the sweep.
+    pub fn total(&self) -> usize {
+        self.consts + self.mux_selects + self.concat_zeros
+    }
+}
+
+/// The analysis-fed folder: one `lilac_analysis::analyze` sweep, then three
+/// fact-driven rewrites the syntactic passes cannot see.
+///
+/// * A net whose fact pins it to a single value — for *all* inputs, on
+///   *every* cycle (the zero power-up state included) — becomes `Const`.
+///   This reaches through dataflow the all-const matcher in
+///   [`fold_constants`] never sees: `x & 0b100` feeding a comparison that
+///   decides it, an FSM register proven stuck, `x - x`, `x == x`.
+/// * A mux whose *select fact* is proven constant (non-zero lower bound, a
+///   known-one bit, or an all-zero upper bound) narrows to the surviving
+///   arm, exactly like [`simplify_muxes`] does for literal `Const` selects.
+/// * A `Concat` whose leading (high-order) operands are provably zero
+///   drops them: high zero bits contribute nothing to the value. A concat
+///   reduced to one operand degenerates to a `Delay(0)` passthrough.
+///
+/// Every rewrite is value-preserving under the facts, which over-
+/// approximate *reachable* values — so the pass cannot change any output
+/// on any cycle, and one analysis sweep stays valid for the whole pass.
+/// Netlists the analysis rejects (it requires the same evaluable-netlist
+/// preconditions the simulator does) are left untouched. Never adds nodes.
+pub fn fold_known_bits(n: &mut Netlist) -> KnownBitsFolds {
+    let mut folds = KnownBitsFolds::default();
+    let Ok(analysis) = lilac_analysis::analyze(n) else {
+        return folds;
+    };
+    for id in node_ids(n) {
+        if matches!(n.node(id).kind, NodeKind::Const(_) | NodeKind::Input(_)) {
+            continue;
+        }
+        if let Some(value) = analysis.fact(id).as_const() {
+            let node = n.node_mut(id);
+            node.kind = NodeKind::Const(value);
+            node.inputs = Vec::new();
+            folds.consts += 1;
+            continue;
+        }
+        match n.node(id).kind {
+            NodeKind::Mux => {
+                let sel = n.node(id).inputs[0];
+                // Literal-const selects belong to `simplify_muxes`; this
+                // rule adds the selects only dataflow decides.
+                if matches!(n.node(sel).kind, NodeKind::Const(_)) {
+                    continue;
+                }
+                if let Some(taken) = lilac_analysis::mux_select(&analysis.fact(sel)) {
+                    let arm = n.node(id).inputs[if taken { 1 } else { 2 }];
+                    let node = n.node_mut(id);
+                    node.kind = NodeKind::Delay(0);
+                    node.inputs = vec![arm];
+                    folds.mux_selects += 1;
+                }
+            }
+            NodeKind::Concat => {
+                let inputs = n.node(id).inputs.clone();
+                let mut keep = 0;
+                while keep + 1 < inputs.len() && analysis.fact(inputs[keep]).as_const() == Some(0) {
+                    keep += 1;
+                }
+                if keep > 0 {
+                    let remaining = inputs[keep..].to_vec();
+                    let node = n.node_mut(id);
+                    if remaining.len() == 1 {
+                        // A one-operand concat is `mask(v, width)` — the
+                        // `Delay(0)` passthrough semantics exactly.
+                        node.kind = NodeKind::Delay(0);
+                    }
+                    node.inputs = remaining;
+                    folds.concat_zeros += keep;
+                }
+            }
+            _ => {}
+        }
+    }
+    folds
+}
+
 /// holding the same value collapse even when they are distinct nodes (the
 /// one-non-const-operand case the node-identity check misses; CSE would
 /// need a full extra round to expose it). The mux node becomes a
@@ -529,17 +641,26 @@ pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
     for _ in 0..16 {
         stats.iterations += 1;
         let mut changed = 0;
+        // Cheap syntactic passes run first so the analysis sweep in
+        // `fold_known_bits` sees an already-shrunk netlist (and so literal
+        // const-select muxes and all-const nodes stay attributed to the
+        // passes that own them); the fixpoint loop feeds its rewrites back
+        // through the syntactic passes on the next iteration.
         let folded = fold_constants(&mut n);
         let muxes = simplify_muxes(&mut n);
         let fusions = fuse_delays(&mut n);
         let merged = eliminate_common_subexpressions(&mut n);
+        let known = fold_known_bits(&mut n);
         let swept = eliminate_dead_nodes(&mut n);
         stats.constants_folded += folded;
+        stats.known_bits_folded += known.consts;
+        stats.mux_selects_narrowed += known.mux_selects;
+        stats.concat_zeros_stripped += known.concat_zeros;
         stats.muxes_simplified += muxes;
         stats.delays_fused += fusions;
         stats.subexpressions_merged += merged;
         stats.dead_removed += swept;
-        changed += folded + muxes + fusions + merged + swept;
+        changed += folded + known.total() + muxes + fusions + merged + swept;
         if changed == 0 {
             break;
         }
@@ -660,7 +781,11 @@ mod tests {
         let o2 = n.add_node(NodeKind::Add, vec![o, core], 8, "o2");
         n.add_output("o", o2);
         let (opt, stats) = optimize_with_stats(&n);
-        assert_eq!(opt.sequential_count(), 1, "only the FMul core holds state: {stats:?}");
+        // `0 * i` is not syntactically constant (i is an input), but the
+        // known-bits folder proves the FMul core's product is 0 for every
+        // input, so *no* state survives at all.
+        assert_eq!(opt.sequential_count(), 0, "all state is provably zero: {stats:?}");
+        assert!(stats.known_bits_folded >= 1, "{stats:?}");
         assert_cycle_exact(&n, &opt, 2, 24);
     }
 
@@ -677,7 +802,10 @@ mod tests {
         n.add_output("o", x);
         let (opt, stats) = optimize_with_stats(&n);
         assert!(stats.subexpressions_merged >= 2, "{stats:?}");
-        assert_eq!(opt.sequential_count(), 1);
+        // After CSE merges r1/r2, `r ^ r` is pinned to 0 by the known-bits
+        // folder, so the register itself becomes dead and is swept.
+        assert_eq!(opt.sequential_count(), 0);
+        assert!(stats.known_bits_folded >= 1, "{stats:?}");
         assert_cycle_exact(&n, &opt, 3, 16);
     }
 
@@ -922,10 +1050,15 @@ mod tests {
         n.add_output("a", r1);
         n.add_output("b", r2);
         let (opt, stats) = optimize_with_stats(&n);
-        assert!(stats.iterations <= 2, "must converge immediately: {stats:?}");
+        assert!(stats.iterations <= 3, "must converge immediately: {stats:?}");
         assert_eq!(stats.delays_fused, 0, "nothing on the loop may fuse: {stats:?}");
+        // The ring powers up at zero and can only ever shift zeros around,
+        // so the known-bits folder dissolves it outright; what matters for
+        // the fusion regression is that `fuse_delays` (which saw the intact
+        // ring on the first iteration) never walked it.
         let depth: u32 = opt.iter().map(|(_, node)| node.kind.pipeline_depth()).sum();
-        assert_eq!(depth, 2, "register depth must not inflate");
+        assert_eq!(depth, 0, "the all-zero ring folds away entirely: {stats:?}");
+        assert!(stats.known_bits_folded >= 2, "{stats:?}");
         assert_cycle_exact(&n, &opt, 9, 16);
         assert_eq!(optimize(&opt), opt, "idempotent on the loop");
     }

@@ -93,7 +93,7 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            workers: std::thread::available_parallelism().map_or(2, std::num::NonZero::get),
             deadline: Some(Duration::from_secs(30)),
             retries: 2,
             backoff: Duration::from_millis(10),
@@ -348,7 +348,7 @@ impl CheckService {
             Ok(lib) => lib
                 .iter()
                 .filter(|m| matches!(m.kind, ModuleKind::Comp { .. }))
-                .map(|m| m.name())
+                .map(lilac_ast::Module::name)
                 .collect(),
             Err(e) => {
                 return ServiceOutcome {
@@ -714,7 +714,7 @@ fn run_unit(unit: &UnitContext) -> (ComponentReport, Vec<CheckError>) {
         format!(
             "component check failed after {} attempt(s): {}",
             unit.config.retries + 1,
-            degradations.last().map(|e| e.detail.as_str()).unwrap_or("unknown failure")
+            degradations.last().map_or("unknown failure", |e| e.detail.as_str())
         ),
     )
     .for_component(unit.component.as_str())
@@ -728,6 +728,7 @@ fn run_unit(unit: &UnitContext) -> (ComponentReport, Vec<CheckError>) {
         elapsed: Duration::ZERO,
         solver_stats: Default::default(),
         degraded: Some(fatal),
+        lints: Vec::new(),
     };
     (report, degradations)
 }
@@ -854,7 +855,7 @@ mod tests {
             let oneshot = check_program_with(&program, &CheckOptions::default());
             match (&outcome.verdict, &oneshot) {
                 (Ok(a), Ok(b)) => {
-                    assert!(a.equivalent(b), "{design:?}: service and one-shot reports differ")
+                    assert!(a.equivalent(b), "{design:?}: service and one-shot reports differ");
                 }
                 (Err(_), Err(_)) => {}
                 (a, b) => panic!(

@@ -108,6 +108,7 @@ impl ReportCache {
             elapsed: Duration::ZERO,
             solver_stats: Default::default(),
             degraded: None,
+            lints: Vec::new(),
         })
     }
 
@@ -220,6 +221,7 @@ mod tests {
             elapsed: Duration::from_millis(5),
             solver_stats: SolverStats::default(),
             degraded: None,
+            lints: Vec::new(),
         }
     }
 

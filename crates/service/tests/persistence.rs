@@ -127,7 +127,7 @@ fn corrupted_images_quarantine_and_rebuild_with_identical_verdicts() {
                     "truncated" => assert_eq!(error, &CacheLoadError::Truncated),
                     "bit-flipped" => assert_eq!(error, &CacheLoadError::ChecksumMismatch),
                     "version-bumped" => {
-                        assert!(matches!(error, CacheLoadError::UnsupportedVersion(_)))
+                        assert!(matches!(error, CacheLoadError::UnsupportedVersion(_)));
                     }
                     _ => unreachable!(),
                 }

@@ -596,7 +596,13 @@ impl CompiledSim {
                 Instr::LaneShr { d, a, lo, m } => {
                     let mut out = [0u64; LANES];
                     for (lane, o) in out.iter_mut().enumerate() {
-                        *o = (get(&self.bits, &self.words, a, lane) >> lo) & m;
+                        // `lo >= 64` reads past any operand: constant 0
+                        // (mirrors `NodeKind::comb_value`'s Slice guard).
+                        *o = if lo >= 64 {
+                            0
+                        } else {
+                            (get(&self.bits, &self.words, a, lane) >> lo) & m
+                        };
                     }
                     self.store(d, &out);
                 }
@@ -624,7 +630,10 @@ impl CompiledSim {
             GatherKind::Concat => {
                 let mut acc = 0u64;
                 for &(slot, w) in ops {
-                    acc = (acc << w) | get(&self.bits, &self.words, slot, lane);
+                    // Mirror `NodeKind::comb_value`: a 64-bit operand fills
+                    // the accumulator outright (`acc << 64` would overflow).
+                    let v = get(&self.bits, &self.words, slot, lane);
+                    acc = if w >= 64 { v } else { (acc << w) | v };
                 }
                 acc
             }
@@ -781,11 +790,11 @@ impl SimBackend for CompiledSim {
     }
 
     fn step(&mut self) {
-        CompiledSim::step(self)
+        CompiledSim::step(self);
     }
 
     fn reset(&mut self) {
-        CompiledSim::reset(self)
+        CompiledSim::reset(self);
     }
 
     fn cycle(&self) -> u64 {

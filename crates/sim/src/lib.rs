@@ -209,6 +209,15 @@ impl Simulator {
         self.output(output)
     }
 
+    /// Evaluates combinational logic without advancing the clock, then
+    /// returns every net's settled value, indexed by `NodeId`. This is the
+    /// fuzzer's abstract-containment probe: each entry is masked to its
+    /// node's width, the exact value the netlist analysis must contain.
+    pub fn node_values(&mut self) -> &[u64] {
+        self.eval_combinational();
+        &self.values
+    }
+
     /// The value of a named output as of the most recent evaluation.
     ///
     /// # Panics
@@ -317,11 +326,11 @@ impl SimBackend for Simulator {
     }
 
     fn step(&mut self) {
-        Simulator::step(self)
+        Simulator::step(self);
     }
 
     fn reset(&mut self) {
-        Simulator::reset(self)
+        Simulator::reset(self);
     }
 
     fn cycle(&self) -> u64 {

@@ -67,7 +67,11 @@ impl fmt::Display for Term {
         match self {
             Term::Var(v) => write!(f, "{v}"),
             Term::App { func, args } => {
-                let args = args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ");
+                let args = args
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 write!(f, "{func}({args})")
             }
         }

@@ -257,11 +257,19 @@ impl fmt::Display for Pred {
             Pred::Eq(e) => write!(f, "{e} == 0"),
             Pred::Not(p) => write!(f, "!({p})"),
             Pred::And(ps) => {
-                let s = ps.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" && ");
+                let s = ps
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" && ");
                 write!(f, "({s})")
             }
             Pred::Or(ps) => {
-                let s = ps.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" || ");
+                let s = ps
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" || ");
                 write!(f, "({s})")
             }
         }

@@ -1255,7 +1255,7 @@ fn fourier_motzkin(rows: &[LinExpr], config: &SolverConfig, combines: &mut usize
         let mut uppers: Vec<LinExpr> = Vec::new(); // coeff > 0: var <= expr
         let mut rest: Vec<LinExpr> = Vec::new();
         for r in rows.into_iter() {
-            let coeff = r.terms().find(|(t, _)| *t == &var).map(|(_, c)| c).unwrap_or(0);
+            let coeff = r.terms().find(|(t, _)| *t == &var).map_or(0, |(_, c)| c);
             if coeff == 0 {
                 rest.push(r);
             } else if coeff > 0 {

@@ -123,7 +123,7 @@ impl SourceFile {
     pub fn line_text(&self, line: u32) -> &str {
         let idx = (line - 1) as usize;
         let start = self.line_starts[idx] as usize;
-        let end = self.line_starts.get(idx + 1).map(|&e| e as usize).unwrap_or(self.src.len());
+        let end = self.line_starts.get(idx + 1).map_or(self.src.len(), |&e| e as usize);
         self.src[start..end].trim_end_matches('\n')
     }
 

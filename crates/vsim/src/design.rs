@@ -147,7 +147,7 @@ impl Design {
     pub fn expr_width(&self, e: &Expr) -> u32 {
         match e {
             Expr::Const { width, .. } => *width,
-            Expr::Net(n) | Expr::ArrayElem(n, _) => self.nets.get(n).map(|d| d.width).unwrap_or(64),
+            Expr::Net(n) | Expr::ArrayElem(n, _) => self.nets.get(n).map_or(64, |d| d.width),
             Expr::Select { hi, lo, .. } => hi - lo + 1,
             Expr::Not(a) => self.expr_width(a),
             Expr::Binary(BinOp::Eq | BinOp::Lt, _, _) => 1,

@@ -99,7 +99,7 @@ impl VSimulator {
             .enumerate()
             .filter_map(|(k, SeqStmt { guard, rhs, .. })| {
                 let env = Env { design: &self.design, values: &self.values, arrays: &self.arrays };
-                let enabled = guard.as_ref().map(|g| env.eval(g) != 0).unwrap_or(true);
+                let enabled = guard.as_ref().is_none_or(|g| env.eval(g) != 0);
                 enabled.then(|| (k, env.eval(rhs)))
             })
             .collect();
@@ -211,11 +211,11 @@ impl lilac_sim::SimBackend for VSimulator {
     }
 
     fn step(&mut self) {
-        VSimulator::step(self)
+        VSimulator::step(self);
     }
 
     fn reset(&mut self) {
-        VSimulator::reset(self)
+        VSimulator::reset(self);
     }
 
     fn cycle(&self) -> u64 {
@@ -245,7 +245,12 @@ impl Env<'_> {
             Expr::Const { width, value } => mask(*value, *width),
             Expr::Net(n) => self.values[n],
             Expr::ArrayElem(n, i) => self.arrays[n][*i as usize],
-            Expr::Select { net, hi, lo } => mask(self.values[net] >> lo, hi - lo + 1),
+            // The `lo >= 64` guard mirrors `NodeKind::comb_value`'s Slice
+            // rule: a select past bit 63 reads constant 0.
+            Expr::Select { net, hi, lo } => {
+                let v = if *lo >= 64 { 0 } else { self.values[net] >> lo };
+                mask(v, hi - lo + 1)
+            }
             // Raw complement: the assignment target's mask truncates, which
             // is both what `lilac-sim` does (`!v` masked to the node width)
             // and what Verilog does after zero-extending the operand to the
@@ -275,8 +280,11 @@ impl Env<'_> {
             Expr::Concat(parts) => {
                 let mut acc = 0u64;
                 for p in parts {
+                    // Mirror `NodeKind::comb_value`: a 64-bit part fills the
+                    // accumulator outright (`acc << 64` would overflow).
                     let w = self.design.expr_width(p);
-                    acc = (acc << w) | mask(self.eval(p), w);
+                    let v = mask(self.eval(p), w);
+                    acc = if w >= 64 { v } else { (acc << w) | v };
                 }
                 acc
             }
