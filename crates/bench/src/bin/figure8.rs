@@ -142,12 +142,14 @@ fn main() {
             std::fs::write(&path, lilac_bench::run_report_json(&report))
                 .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             println!(
-                "\nwrote {path} ({} figure8 rows, {} netlists, {} retiming rows, {} incremental rows, {} lint targets)",
+                "\nwrote {path} ({} figure8 rows, {} netlists, {} retiming rows, {} incremental rows, {} lint targets, campaign {} cases/{} shards)",
                 report.figure8.len(),
                 report.netlists.len(),
                 report.retiming.len(),
                 report.incremental.len(),
-                report.lints.len()
+                report.lints.len(),
+                report.campaign.cases,
+                report.campaign.shards
             );
         } else if arg == "--check" {
             check = true;

@@ -1,0 +1,248 @@
+//! Diffs two `BENCH_*.json` artifacts (`report_diff OLD.json NEW.json`) and
+//! fails — exit code 1 — on a perf or coverage regression:
+//!
+//! - a netlist's optimized node count (`nodes_after`) grew,
+//! - a retimed netlist's `fmax_after_mhz` dropped by more than 0.5 %,
+//! - a design's incremental `warm_hit_rate` dropped by more than 0.05,
+//! - the campaign's coverage-signature count shrank (the fuzzer lost reach).
+//!
+//! Timing fields (`check_time_us`, `cases_per_sec`, elapsed) are reported
+//! but never gate: wall clock on shared CI runners is noise, while node
+//! counts, hit rates and signature sets are deterministic. Rows present in
+//! only one artifact are reported informationally too, so adding a design
+//! or lint target never fails the gate.
+
+use lilac_bench::json::{parse, Value};
+use std::process::ExitCode;
+
+/// The outcome of comparing two artifacts: hard failures and informational
+/// notes, each human-readable and stable enough to grep in CI logs.
+#[derive(Debug, Default)]
+struct Diff {
+    regressions: Vec<String>,
+    notes: Vec<String>,
+}
+
+/// Indexes an array section's rows by the value of `key`.
+fn rows_by<'a>(doc: &'a Value, section: &str, key: &str) -> Vec<(&'a str, &'a Value)> {
+    doc.get(section)
+        .and_then(Value::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| row.get(key).and_then(Value::as_str).map(|name| (name, row)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn num(row: &Value, field: &str) -> Option<f64> {
+    row.get(field).and_then(Value::as_num)
+}
+
+/// Walks one array section: rows matched by `key` are handed to `compare`
+/// (old row, new row, emit into diff); unmatched rows become notes.
+fn diff_section(
+    diff: &mut Diff,
+    old: &Value,
+    new: &Value,
+    section: &str,
+    key: &str,
+    mut compare: impl FnMut(&mut Diff, &str, &Value, &Value),
+) {
+    let old_rows = rows_by(old, section, key);
+    let new_rows = rows_by(new, section, key);
+    for &(name, new_row) in &new_rows {
+        match old_rows.iter().find(|(n, _)| *n == name) {
+            Some(&(_, old_row)) => compare(diff, name, old_row, new_row),
+            None => diff.notes.push(format!("{section}/{name}: new row (no baseline)")),
+        }
+    }
+    for &(name, _) in &old_rows {
+        if !new_rows.iter().any(|(n, _)| *n == name) {
+            diff.notes.push(format!("{section}/{name}: row disappeared"));
+        }
+    }
+}
+
+fn diff_reports(old: &Value, new: &Value) -> Diff {
+    let mut diff = Diff::default();
+
+    diff_section(&mut diff, old, new, "netlists", "netlist", |diff, name, o, n| {
+        let (before, after) = (num(o, "nodes_after"), num(n, "nodes_after"));
+        if let (Some(b), Some(a)) = (before, after) {
+            if a > b {
+                diff.regressions.push(format!("netlists/{name}: nodes_after grew {b} -> {a}"));
+            } else if a < b {
+                diff.notes.push(format!("netlists/{name}: nodes_after improved {b} -> {a}"));
+            }
+        }
+    });
+
+    diff_section(&mut diff, old, new, "retiming", "netlist", |diff, name, o, n| {
+        if let (Some(b), Some(a)) = (num(o, "fmax_after_mhz"), num(n, "fmax_after_mhz")) {
+            if a < b * 0.995 {
+                diff.regressions.push(format!(
+                    "retiming/{name}: fmax_after_mhz dropped {b:.3} -> {a:.3} (>0.5%)"
+                ));
+            }
+        }
+    });
+
+    diff_section(&mut diff, old, new, "incremental", "design", |diff, name, o, n| {
+        if let (Some(b), Some(a)) = (num(o, "warm_hit_rate"), num(n, "warm_hit_rate")) {
+            if a < b - 0.05 {
+                diff.regressions.push(format!(
+                    "incremental/{name}: warm_hit_rate dropped {b:.3} -> {a:.3} (>0.05)"
+                ));
+            }
+        }
+    });
+
+    diff_section(&mut diff, old, new, "figure8", "design", |diff, name, o, n| {
+        if let (Some(b), Some(a)) = (num(o, "check_time_us"), num(n, "check_time_us")) {
+            diff.notes.push(format!("figure8/{name}: check_time_us {b} -> {a} (informational)"));
+        }
+    });
+
+    let sig_count = |doc: &Value| {
+        doc.get("campaign")
+            .and_then(|c| c.get("signatures"))
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len)
+    };
+    match (sig_count(old), sig_count(new)) {
+        (Some(b), Some(a)) if a < b => {
+            diff.regressions.push(format!("campaign: coverage-signature count shrank {b} -> {a}"));
+        }
+        (Some(b), Some(a)) => {
+            diff.notes.push(format!("campaign: coverage-signature count {b} -> {a}"));
+        }
+        (None, Some(_)) => diff.notes.push("campaign: new section (no baseline)".to_string()),
+        (_, None) => diff.regressions.push("campaign: section missing from new report".to_string()),
+    }
+    if let (Some(old_c), Some(new_c)) = (old.get("campaign"), new.get("campaign")) {
+        if let (Some(b), Some(a)) = (num(old_c, "cases_per_sec"), num(new_c, "cases_per_sec")) {
+            diff.notes.push(format!("campaign: cases_per_sec {b:.1} -> {a:.1} (informational)"));
+        }
+        match (old_c.get("fingerprint"), new_c.get("fingerprint")) {
+            (Some(b), Some(a)) if b != a => diff.notes.push(
+                "campaign: fingerprint changed (expected whenever generator/oracle behaviour \
+                 changes; determinism is gated by the sequential-vs-sharded diff, not here)"
+                    .to_string(),
+            ),
+            _ => {}
+        }
+    }
+
+    diff
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(old_path), Some(new_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: report_diff OLD.json NEW.json");
+        return ExitCode::from(2);
+    };
+    let load = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        parse(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let (old, new) = match (load(&old_path), load(&new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (o, n) => {
+            for err in [o.err(), n.err()].into_iter().flatten() {
+                eprintln!("report_diff: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let diff = diff_reports(&old, &new);
+    for note in &diff.notes {
+        println!("note: {note}");
+    }
+    for regression in &diff.regressions {
+        println!("REGRESSION: {regression}");
+    }
+    if diff.regressions.is_empty() {
+        println!("report_diff: no regressions ({} notes)", diff.notes.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("report_diff: {} regression(s)", diff.regressions.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(nodes_after: u64, fmax: f64, hit_rate: f64, sigs: usize) -> Value {
+        let sig_rows: Vec<String> = (0..sigs)
+            .map(|i| format!("{{\"signature\": \"{i:#06x}\", \"cases\": 1, \"bits\": \"x\"}}"))
+            .collect();
+        parse(&format!(
+            r#"{{
+              "schema": "lilac-bench-run/v1",
+              "figure8": [{{"design": "gbp", "check_time_us": 100}}],
+              "netlists": [{{"netlist": "fpu", "nodes_before": 90, "nodes_after": {nodes_after}}}],
+              "retiming": [{{"netlist": "fpu", "fmax_after_mhz": {fmax}}}],
+              "incremental": [{{"design": "gbp", "warm_hit_rate": {hit_rate}}}],
+              "lints": [],
+              "campaign": {{"cases": 120, "shards": 2, "cases_per_sec": 50.0,
+                            "fingerprint": "00000000000000aa",
+                            "signatures": [{}]}}
+            }}"#,
+            sig_rows.join(",")
+        ))
+        .expect("test artifact parses")
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let a = artifact(80, 450.0, 0.9, 10);
+        let diff = diff_reports(&a, &a);
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(!diff.notes.is_empty(), "timing notes are informational but present");
+    }
+
+    #[test]
+    fn each_gate_fires_on_its_regression() {
+        let base = artifact(80, 450.0, 0.9, 10);
+        for (bad, expect) in [
+            (artifact(81, 450.0, 0.9, 10), "nodes_after grew"),
+            (artifact(80, 440.0, 0.9, 10), "fmax_after_mhz dropped"),
+            (artifact(80, 450.0, 0.8, 10), "warm_hit_rate dropped"),
+            (artifact(80, 450.0, 0.9, 9), "signature count shrank"),
+        ] {
+            let diff = diff_reports(&base, &bad);
+            assert_eq!(diff.regressions.len(), 1, "{expect}: {:?}", diff.regressions);
+            assert!(diff.regressions[0].contains(expect), "{:?}", diff.regressions);
+        }
+    }
+
+    #[test]
+    fn improvements_and_noise_do_not_gate() {
+        let base = artifact(80, 450.0, 0.9, 10);
+        // Fewer nodes, slightly lower fmax (within 0.5%), tiny hit-rate dip
+        // (within 0.05), more signatures: all fine.
+        let better = artifact(70, 448.5, 0.87, 12);
+        let diff = diff_reports(&base, &better);
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+    }
+
+    #[test]
+    fn new_and_missing_rows_are_notes_not_failures() {
+        let base = artifact(80, 450.0, 0.9, 10);
+        let mut renamed = artifact(80, 450.0, 0.9, 10);
+        if let Value::Obj(map) = &mut renamed {
+            map.insert(
+                "netlists".to_string(),
+                parse(r#"[{"netlist": "alu", "nodes_before": 5, "nodes_after": 5}]"#).unwrap(),
+            );
+        }
+        let diff = diff_reports(&base, &renamed);
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.notes.iter().any(|n| n.contains("new row")));
+        assert!(diff.notes.iter().any(|n| n.contains("disappeared")));
+    }
+}

@@ -19,6 +19,8 @@
 //! roughly what factor, and how the gap moves across design points) are what
 //! `EXPERIMENTS.md` compares.
 
+pub mod json;
+
 use lilac_core::{
     check_program, check_program_with, CheckOptions, CheckReport, GeneratorFeature, InterfaceStyle,
 };
@@ -377,6 +379,8 @@ pub struct RunReport {
     pub incremental: Vec<IncrementalRow>,
     /// Per-target static-analysis lint counts over the canonical surface.
     pub lints: Vec<LintRow>,
+    /// Sharded-campaign throughput, signature histogram, and distilled size.
+    pub campaign: CampaignBench,
 }
 
 /// Assembles a [`RunReport`] around already-measured Figure 8 rows (so the
@@ -396,12 +400,15 @@ pub fn run_report(figure8: Vec<Figure8Row>) -> Result<RunReport> {
         retiming: retiming_report(1)?,
         incremental: incremental_report()?,
         lints: lint_rows()?,
+        // Small fixed budget: big enough for a meaningful signature
+        // histogram and per-shard cases/s, small enough for every CI run.
+        campaign: campaign_bench(120, 0, 2),
     })
 }
 
 /// Serializes a [`RunReport`] as the `BENCH_*.json` artifact: one JSON
-/// document with `figure8`, `netlists`, `retiming`, `incremental`, and
-/// `lints` sections, stable field names, and times in integer
+/// document with `figure8`, `netlists`, `retiming`, `incremental`, `lints`,
+/// and `campaign` sections, stable field names, and times in integer
 /// microseconds — so per-PR trajectories diff cleanly.
 pub fn run_report_json(report: &RunReport) -> String {
     let mut out = String::from("{\n  \"schema\": \"lilac-bench-run/v1\",\n");
@@ -460,7 +467,41 @@ pub fn run_report_json(report: &RunReport) -> String {
             if i + 1 == report.lints.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    let c = &report.campaign;
+    out.push_str("  ],\n  \"campaign\": {\n");
+    out.push_str(&format!(
+        "    \"cases\": {}, \"seed\": {}, \"shards\": {}, \"elapsed_us\": {}, \
+         \"cases_per_sec\": {:.3}, \"fingerprint\": \"{:016x}\", \"distilled_cases\": {},\n",
+        c.cases,
+        c.seed,
+        c.shards,
+        c.elapsed.as_micros(),
+        c.cases_per_sec,
+        c.fingerprint,
+        c.distilled,
+    ));
+    out.push_str("    \"shard_rows\": [\n");
+    for (i, s) in c.shard_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"shard\": {}, \"start\": {}, \"cases\": {}, \"elapsed_us\": {}, \
+             \"cases_per_sec\": {:.3}}}{}\n",
+            s.shard,
+            s.start,
+            s.cases,
+            (s.elapsed_secs * 1e6) as u64,
+            s.cases_per_sec,
+            if i + 1 == c.shard_rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("    ],\n    \"signatures\": [\n");
+    for (i, (sig, count)) in c.signatures.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"signature\": \"{sig}\", \"cases\": {count}, \"bits\": \"{}\"}}{}\n",
+            sig.describe(),
+            if i + 1 == c.signatures.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 
@@ -640,6 +681,66 @@ pub fn fuzz_throughput(cases: u64, seed: u64) -> FuzzThroughputRow {
         elapsed,
         cases_per_sec: summary.cases as f64 / elapsed.as_secs_f64().max(1e-9),
         fingerprint: summary.fingerprint,
+    }
+}
+
+/// The sharded campaign as a benchmark row: whole-run and per-shard
+/// throughput, the coverage-signature histogram, and the distilled-corpus
+/// size — the `BENCH_*.json` section that tells us whether sharding is
+/// actually converting the compiled simulator's and incremental checker's
+/// wins into whole-run fuzz throughput.
+#[derive(Clone, Debug)]
+pub struct CampaignBench {
+    /// Cases run.
+    pub cases: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Shard count.
+    pub shards: usize,
+    /// Wall-clock time for the whole campaign (merge included).
+    pub elapsed: Duration,
+    /// `cases / elapsed`.
+    pub cases_per_sec: f64,
+    /// Merged fingerprint (byte-identical to the sequential driver's).
+    pub fingerprint: u64,
+    /// Per-shard throughput rows.
+    pub shard_rows: Vec<lilac_fuzz::campaign::ShardReport>,
+    /// Coverage-signature histogram (signature → cases), in signature order.
+    pub signatures: Vec<(lilac_fuzz::CoverageSignature, u64)>,
+    /// Size of the distilled corpus (one case per distinct signature).
+    pub distilled: usize,
+}
+
+/// Runs a sharded fuzzing campaign for a fixed budget and reports
+/// throughput, the signature histogram, and the distilled-corpus size.
+///
+/// # Panics
+///
+/// Panics if any oracle disagrees — like [`fuzz_throughput`], a benchmark
+/// run is also a correctness run.
+pub fn campaign_bench(cases: u64, seed: u64, shards: usize) -> CampaignBench {
+    let config = lilac_fuzz::campaign::CampaignConfig {
+        fuzz: lilac_fuzz::FuzzConfig { cases, seed, ..lilac_fuzz::FuzzConfig::default() },
+        shards,
+    };
+    let start = Instant::now();
+    let result = lilac_fuzz::campaign::run_campaign(&config);
+    let elapsed = start.elapsed();
+    assert!(
+        result.summary.failures.is_empty(),
+        "fuzz oracles disagreed during the campaign benchmark: {:#?}",
+        result.summary.failures
+    );
+    CampaignBench {
+        cases: result.summary.cases,
+        seed,
+        shards,
+        elapsed,
+        cases_per_sec: result.summary.cases as f64 / elapsed.as_secs_f64().max(1e-9),
+        fingerprint: result.summary.fingerprint,
+        shard_rows: result.shards,
+        signatures: result.summary.signatures.iter().map(|(&sig, &n)| (sig, n)).collect(),
+        distilled: result.distilled.len(),
     }
 }
 
@@ -1264,17 +1365,37 @@ mod tests {
             report.lints.iter().any(|r| r.warnings + r.notes > 0),
             "no lint target reported any finding"
         );
+        // The campaign section reports a real sharded run: a nonzero
+        // fingerprint, one row per shard covering the whole range, a
+        // populated signature histogram and a distilled subset no larger
+        // than the signature count.
+        assert_eq!(report.campaign.shards, 2);
+        assert_ne!(report.campaign.fingerprint, 0);
+        assert_eq!(report.campaign.shard_rows.len(), 2);
+        assert_eq!(
+            report.campaign.shard_rows.iter().map(|s| s.cases).sum::<u64>(),
+            report.campaign.cases
+        );
+        assert!(!report.campaign.signatures.is_empty());
+        assert_eq!(report.campaign.distilled, report.campaign.signatures.len());
         let json = run_report_json(&report);
         assert!(json.contains("\"schema\": \"lilac-bench-run/v1\""));
-        for section in
-            ["\"figure8\"", "\"netlists\"", "\"retiming\"", "\"incremental\"", "\"lints\""]
-        {
+        for section in [
+            "\"figure8\"",
+            "\"netlists\"",
+            "\"retiming\"",
+            "\"incremental\"",
+            "\"lints\"",
+            "\"campaign\"",
+        ] {
             assert!(json.contains(section), "missing section {section}");
         }
         assert!(json.contains("warm_hit_rate"));
         assert!(json.contains("fmax_after_mhz"));
         assert!(json.contains("nodes_after"));
         assert!(json.contains("\"notes\""));
+        assert!(json.contains("\"shard_rows\""));
+        assert!(json.contains("\"distilled_cases\""));
     }
 
     #[test]

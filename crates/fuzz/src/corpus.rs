@@ -43,6 +43,11 @@ pub struct Directives {
     pub outputs: Vec<(String, u64, Vec<u64>)>,
     /// Output parameters the elaborated top must bind, e.g. `LG=5`.
     pub out_params: Vec<(String, u64)>,
+    /// Coverage signature recorded when the file was generated
+    /// ([`crate::CoverageSignature`]); `None` for files predating the
+    /// directive. Replay re-derives every bit it can observe from the text
+    /// alone and pins them against this record.
+    pub signature: Option<crate::CoverageSignature>,
 }
 
 fn parse_u64_list(s: &str) -> Result<Vec<u64>, String> {
@@ -90,6 +95,14 @@ pub fn parse_directives(text: &str) -> Result<Directives, String> {
                 }
                 d.outputs.push((name, latency, values));
             }
+            "signature" => {
+                // `0x04d3 (checked+pipelined+...)` — only the hex token is
+                // semantic; the parenthesized rendering is for humans.
+                let token = value.split_whitespace().next().unwrap_or("");
+                let bits = u32::from_str_radix(token.trim_start_matches("0x"), 16)
+                    .map_err(|e| format!("signature: {e}"))?;
+                d.signature = Some(crate::CoverageSignature(bits));
+            }
             "out-param" => {
                 let (name, v) =
                     value.split_once('=').ok_or_else(|| format!("bad out-param `{value}`"))?;
@@ -116,7 +129,7 @@ pub fn parse_directives(text: &str) -> Result<Directives, String> {
 /// scenario belongs in a bug report, not the corpus).
 pub fn emit_case(scenario: &Scenario) -> Result<String, Failure> {
     let session = Session::without_shared_cache();
-    crate::oracle::run_case(scenario, &session)?;
+    let stats = crate::oracle::run_case(scenario, &session)?;
 
     let synth = synthesize(scenario);
     let mut head = String::new();
@@ -124,6 +137,7 @@ pub fn emit_case(scenario: &Scenario) -> Result<String, Failure> {
     head.push_str("//   cargo run -p lilac-fuzz -- --emit-corpus fuzz/corpus\n");
     head.push_str("//! fuzz-corpus: v1\n");
     head.push_str(&format!("//! seed: {}\n", scenario.seed));
+    head.push_str(&format!("//! signature: {} ({})\n", stats.coverage, stats.coverage.describe()));
     head.push_str(&format!("//! top: {}\n", synth.top));
     head.push_str(&format!("//! width: {}\n", synth.width));
     head.push_str(&format!("//! inputs: {}\n", synth.inputs.join(",")));
@@ -240,6 +254,11 @@ pub fn run_text(text: &str) -> Result<(), String> {
         .map_err(|f| format!("{}: {}", f.oracle, f.detail))?;
 
     if !d.expect_check_ok {
+        if let Some(sig) = d.signature {
+            if sig.0 & crate::CoverageSignature::CHECKED != 0 {
+                return Err(format!("signature {sig} claims `checked` on a pinned-reject case"));
+            }
+        }
         return Ok(());
     }
 
@@ -259,9 +278,31 @@ pub fn run_text(text: &str) -> Result<(), String> {
     if d.stimuli.is_empty() {
         return Err("clean corpus case has no stimulus directive".to_string());
     }
-    crate::oracle::drive_netlist(&module.netlist, &d.inputs, &d.stimuli, &d.outputs)
-        .map(|_cycles| ())
-        .map_err(|f| format!("{}: {}", f.oracle, f.detail))
+    let report = crate::oracle::drive_netlist(&module.netlist, &d.inputs, &d.stimuli, &d.outputs)
+        .map_err(|f| format!("{}: {}", f.oracle, f.detail))?;
+
+    // Every coverage bit derivable from the file text alone must match the
+    // recorded signature. GEN_BLOCK and SUB_COMPONENT describe how the
+    // scenario was *generated* — invisible to a replay that starts from the
+    // printed program — so they are masked out here; the campaign's
+    // distillation test pins them by regenerating the scenario from its
+    // seed.
+    if let Some(sig) = d.signature {
+        let mut got = report.coverage;
+        got.set_if(crate::CoverageSignature::CHECKED, true);
+        got.set_if(crate::CoverageSignature::WIDE, d.width >= 16);
+        let replayable =
+            !(crate::CoverageSignature::GEN_BLOCK | crate::CoverageSignature::SUB_COMPONENT);
+        let want = crate::CoverageSignature(sig.0 & replayable);
+        if got != want {
+            return Err(format!(
+                "signature mismatch: recorded {want} ({}), replayed {got} ({})",
+                want.describe(),
+                got.describe()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Picks a diverse set of `count` corpus scenarios starting at `base_seed`:
@@ -380,11 +421,13 @@ mod tests {
 
     #[test]
     fn directive_parser_round_trips() {
-        let text = "//! fuzz-corpus: v1\n//! seed: 9\n//! top: Top\n//! width: 8\n\
+        let text = "//! fuzz-corpus: v1\n//! seed: 9\n//! signature: 0x0421 (checked)\n\
+                    //! top: Top\n//! width: 8\n\
                     //! inputs: i0,i1\n//! expect-check: ok\n//! stimulus: 1,2; 3,4\n\
                     //! output: o0 latency=3 values=5,6\n//! out-param: LG=4\n";
         let d = parse_directives(text).unwrap();
         assert_eq!(d.seed, 9);
+        assert_eq!(d.signature, Some(crate::CoverageSignature(0x0421)));
         assert_eq!(d.width, 8);
         assert_eq!(d.inputs, vec!["i0", "i1"]);
         assert!(d.expect_check_ok);

@@ -58,6 +58,7 @@
 //! count produces bit-for-bit the same [`FuzzSummary`], including its
 //! fingerprint.
 
+pub mod campaign;
 pub mod corpus;
 pub mod lint;
 pub mod mutate;
@@ -66,8 +67,89 @@ pub mod scenario;
 pub mod shrink;
 pub mod synth;
 
-use oracle::{run_case, Session};
+use oracle::{run_case, CaseStats, Session};
 use scenario::generate;
+
+/// Compact per-case coverage signature: which oracle and legality branches
+/// the case exercised. A pure function of the case seed (session state —
+/// caches, faults, degradations — never contributes a bit), so replaying a
+/// case in any context recomputes the same signature. The campaign runner
+/// distills its corpus by keeping the first case of every distinct
+/// signature, and `BENCH_*.json` reports the signature histogram.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoverageSignature(pub u32);
+
+impl CoverageSignature {
+    /// The program type-checked (clear on sabotaged, rejected cases).
+    pub const CHECKED: u32 = 1 << 0;
+    /// The scenario invokes the FloPoCo generator block.
+    pub const GEN_BLOCK: u32 = 1 << 1;
+    /// The scenario instantiates a generated sub-component.
+    pub const SUB_COMPONENT: u32 = 1 << 2;
+    /// More than one output was driven and compared.
+    pub const MULTI_OUTPUT: u32 = 1 << 3;
+    /// More than one stimulus vector streamed through the design.
+    pub const MULTI_STIMULUS: u32 = 1 << 4;
+    /// Some output arrives with nonzero latency (sequential state on the
+    /// path — the retiming and delay-emission branches are reachable).
+    pub const PIPELINED: u32 = 1 << 5;
+    /// The optimizer rewrote at least one node (oracle 6 beyond the
+    /// identity path).
+    pub const OPT_REWROTE: u32 = 1 << 6;
+    /// The retimer accepted at least one move (oracle 7 beyond its
+    /// legality bail-outs).
+    pub const RETIME_MOVED: u32 = 1 << 7;
+    /// The known-bits folder fired (a dataflow fact the syntactic folder
+    /// cannot see).
+    pub const KNOWN_BITS_FOLDED: u32 = 1 << 8;
+    /// The static analysis linted the elaborated netlist.
+    pub const LINTED: u32 = 1 << 9;
+    /// Datapath width of at least 16 bits (wide-mask paths).
+    pub const WIDE: u32 = 1 << 10;
+
+    /// Bit names in bit order, for rendering.
+    const NAMES: [(u32, &'static str); 11] = [
+        (Self::CHECKED, "checked"),
+        (Self::GEN_BLOCK, "gen"),
+        (Self::SUB_COMPONENT, "sub"),
+        (Self::MULTI_OUTPUT, "multi-out"),
+        (Self::MULTI_STIMULUS, "multi-stim"),
+        (Self::PIPELINED, "pipelined"),
+        (Self::OPT_REWROTE, "opt"),
+        (Self::RETIME_MOVED, "retime"),
+        (Self::KNOWN_BITS_FOLDED, "known-bits"),
+        (Self::LINTED, "linted"),
+        (Self::WIDE, "wide"),
+    ];
+
+    /// Sets `bit` when `cond` holds.
+    pub fn set_if(&mut self, bit: u32, cond: bool) {
+        if cond {
+            self.0 |= bit;
+        }
+    }
+
+    /// Human-readable `+`-joined bit names (`"rejected"` when no bit that
+    /// has a name is set and the case did not check).
+    pub fn describe(self) -> String {
+        let names: Vec<&str> = Self::NAMES
+            .iter()
+            .filter(|(bit, _)| self.0 & bit != 0)
+            .map(|(_, name)| *name)
+            .collect();
+        if names.is_empty() {
+            "rejected".to_string()
+        } else {
+            names.join("+")
+        }
+    }
+}
+
+impl std::fmt::Display for CoverageSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
 
 /// Configuration of one fuzzing run.
 #[derive(Clone, Debug)]
@@ -171,6 +253,10 @@ pub struct FuzzSummary {
     pub report_misses: u64,
     /// Oracle disagreements (empty on a healthy run).
     pub failures: Vec<FailureReport>,
+    /// Histogram of per-case [`CoverageSignature`]s (signature → cases).
+    /// Session-independent by construction, so sequential and sharded runs
+    /// of the same seed observe the same histogram.
+    pub signatures: std::collections::BTreeMap<CoverageSignature, u64>,
     /// Order-sensitive digest of every case outcome; bit-for-bit stable
     /// for a given (seed, cases) pair.
     pub fingerprint: u64,
@@ -195,6 +281,141 @@ pub fn case_seed(base: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Everything one case produced, ready to be folded into a summary: the
+/// unit of work the sequential driver and the campaign's shard workers
+/// share. Records are a pure function of `(config, index)` — session state
+/// shapes *how* the oracles answered, never what is recorded — so folding
+/// the same records in the same order always yields the same summary.
+#[derive(Clone, Debug)]
+pub struct CaseRecord {
+    /// Case index within the run.
+    pub index: u64,
+    /// Derived case seed (`case_seed(config.seed, index)`).
+    pub seed: u64,
+    /// Scenario exercises the FloPoCo generator block.
+    pub gen_case: bool,
+    /// Scenario invokes a generated sub-component.
+    pub sub_case: bool,
+    /// Case statistics, or the (shrunk) oracle disagreement.
+    pub outcome: Result<CaseStats, FailureReport>,
+}
+
+/// Generates, cross-checks, and (on failure) shrinks case `index` of the
+/// run `config` describes, under `session`. This is the one per-case path:
+/// the sequential driver calls it in index order; campaign shard workers
+/// call it over their index range.
+pub fn run_indexed_case(config: &FuzzConfig, session: &Session, index: u64) -> CaseRecord {
+    let seed = case_seed(config.seed, index);
+    let scenario = generate(seed);
+    let gen_case = scenario.gen_block.is_some();
+    let sub_case = scenario.steps.iter().any(|s| matches!(s, scenario::Step::SubComp { .. }));
+    let outcome = match run_case(&scenario, session) {
+        Ok(stats) => Ok(stats),
+        Err(failure) => {
+            let report = if config.shrink {
+                // Re-judge each candidate with a *fresh* shared cache so
+                // shrinking is independent of the probes before it while
+                // still running the warm-cache configuration (failures
+                // that need cross-case cache pollution to reproduce are
+                // reported unshrunk). Only candidates failing the *same*
+                // oracle are accepted.
+                let oracle_name = failure.oracle;
+                let shrunk = shrink::shrink(&scenario, failure, |cand| {
+                    match run_case(cand, &Session::new()) {
+                        Err(f) if f.oracle == oracle_name => Some(f),
+                        _ => None,
+                    }
+                });
+                FailureReport {
+                    case_index: index,
+                    case_seed: seed,
+                    oracle: shrunk.failure.oracle.to_string(),
+                    detail: shrunk.failure.detail.clone(),
+                    program: lilac_ast::printer::print_program(
+                        &synth::synthesize(&shrunk.scenario).program,
+                    ),
+                    steps_before: shrunk.steps_before,
+                    steps_after: shrunk.steps_after,
+                    probes: shrunk.probes,
+                }
+            } else {
+                let steps = scenario.steps.len();
+                FailureReport {
+                    case_index: index,
+                    case_seed: seed,
+                    oracle: failure.oracle.to_string(),
+                    detail: failure.detail,
+                    program: lilac_ast::printer::print_program(
+                        &synth::synthesize(&scenario).program,
+                    ),
+                    steps_before: steps,
+                    steps_after: steps,
+                    probes: 0,
+                }
+            };
+            Err(report)
+        }
+    };
+    // The recycle drill: under an enabled fault schedule, force the
+    // service's cache through serialize → (maybe corrupt) → reload after
+    // every case, so the quarantine-and-rebuild path is exercised mid-run,
+    // not just at startup. Verdicts must be unaffected — the next case's
+    // oracle 8 comparison checks exactly that.
+    if session.faults().is_enabled() {
+        if let Some(service) = session.service() {
+            let _ = service.recycle_cache();
+        }
+    }
+    CaseRecord { index, seed, gen_case, sub_case, outcome }
+}
+
+/// Folds one case record into the summary — counters, coverage histogram,
+/// and the order-sensitive fingerprint. Returns `true` when the run must
+/// stop (the `max_failures` budget is spent). The sequential driver and the
+/// campaign's merge pass both fold through here, which is what makes a
+/// sharded run's summary byte-identical to the sequential one: same
+/// records, same order, same fold.
+pub fn fold_record(summary: &mut FuzzSummary, record: &CaseRecord, max_failures: usize) -> bool {
+    summary.cases += 1;
+    if record.gen_case {
+        summary.gen_cases += 1;
+    }
+    if record.sub_case {
+        summary.sub_cases += 1;
+    }
+    let seed = record.seed;
+    match &record.outcome {
+        Ok(stats) => {
+            if stats.checked_ok {
+                summary.checked_ok += 1;
+            } else {
+                summary.rejected += 1;
+            }
+            summary.obligations += stats.obligations as u64;
+            summary.queries += stats.queries;
+            summary.cycles += stats.cycles;
+            *summary.signatures.entry(stats.coverage).or_insert(0) += 1;
+            summary.fingerprint = fnv1a(
+                summary.fingerprint,
+                format!(
+                    "{seed}:{}:{}:{}:{}:{}",
+                    stats.checked_ok, stats.modules, stats.obligations, stats.queries, stats.cycles
+                )
+                .as_bytes(),
+            );
+            false
+        }
+        Err(report) => {
+            summary.fingerprint = fnv1a(
+                summary.fingerprint,
+                format!("{seed}:FAIL:{}:{}", report.oracle, report.detail).as_bytes(),
+            );
+            summary.failures.push(report.clone());
+            summary.failures.len() >= max_failures
+        }
+    }
+}
+
 /// Runs the fuzzer. Failures are shrunk (when configured) but never panic
 /// the run; they are collected into the summary.
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzSummary {
@@ -208,102 +429,22 @@ pub fn run_fuzz_with_progress(config: &FuzzConfig, mut progress: impl FnMut(u64)
         Session::with_service(config.faults, config.cache_file.clone(), config.incremental);
     let mut summary = FuzzSummary::default();
     for i in 0..config.cases {
-        let seed = case_seed(config.seed, i);
-        let scenario = generate(seed);
-        summary.cases += 1;
-        if scenario.gen_block.is_some() {
-            summary.gen_cases += 1;
-        }
-        if scenario.steps.iter().any(|s| matches!(s, scenario::Step::SubComp { .. })) {
-            summary.sub_cases += 1;
-        }
-        match run_case(&scenario, &session) {
-            Ok(stats) => {
-                if stats.checked_ok {
-                    summary.checked_ok += 1;
-                } else {
-                    summary.rejected += 1;
-                }
-                summary.obligations += stats.obligations as u64;
-                summary.queries += stats.queries;
-                summary.cycles += stats.cycles;
-                summary.fingerprint = fnv1a(
-                    summary.fingerprint,
-                    format!(
-                        "{seed}:{}:{}:{}:{}:{}",
-                        stats.checked_ok,
-                        stats.modules,
-                        stats.obligations,
-                        stats.queries,
-                        stats.cycles
-                    )
-                    .as_bytes(),
-                );
-            }
-            Err(failure) => {
-                let report = if config.shrink {
-                    // Re-judge each candidate with a *fresh* shared cache so
-                    // shrinking is independent of the probes before it while
-                    // still running the warm-cache configuration (failures
-                    // that need cross-case cache pollution to reproduce are
-                    // reported unshrunk). Only candidates failing the *same*
-                    // oracle are accepted.
-                    let oracle_name = failure.oracle;
-                    let shrunk = shrink::shrink(&scenario, failure, |cand| {
-                        match run_case(cand, &Session::new()) {
-                            Err(f) if f.oracle == oracle_name => Some(f),
-                            _ => None,
-                        }
-                    });
-                    FailureReport {
-                        case_index: i,
-                        case_seed: seed,
-                        oracle: shrunk.failure.oracle.to_string(),
-                        detail: shrunk.failure.detail.clone(),
-                        program: lilac_ast::printer::print_program(
-                            &synth::synthesize(&shrunk.scenario).program,
-                        ),
-                        steps_before: shrunk.steps_before,
-                        steps_after: shrunk.steps_after,
-                        probes: shrunk.probes,
-                    }
-                } else {
-                    let steps = scenario.steps.len();
-                    FailureReport {
-                        case_index: i,
-                        case_seed: seed,
-                        oracle: failure.oracle.to_string(),
-                        detail: failure.detail,
-                        program: lilac_ast::printer::print_program(
-                            &synth::synthesize(&scenario).program,
-                        ),
-                        steps_before: steps,
-                        steps_after: steps,
-                        probes: 0,
-                    }
-                };
-                summary.fingerprint = fnv1a(
-                    summary.fingerprint,
-                    format!("{seed}:FAIL:{}:{}", report.oracle, report.detail).as_bytes(),
-                );
-                summary.failures.push(report);
-                if summary.failures.len() >= config.max_failures {
-                    break;
-                }
-            }
-        }
-        // The recycle drill: under an enabled fault schedule, periodically
-        // force the service's cache through serialize → (maybe corrupt) →
-        // reload, so the quarantine-and-rebuild path is exercised mid-run,
-        // not just at startup. Verdicts must be unaffected — the next case's
-        // oracle 8 comparison checks exactly that.
-        if session.faults().is_enabled() {
-            if let Some(service) = session.service() {
-                let _ = service.recycle_cache();
-            }
+        let record = run_indexed_case(config, &session, i);
+        let stop = fold_record(&mut summary, &record, config.max_failures);
+        if stop {
+            break;
         }
         progress(i + 1);
     }
+    finish_summary(&mut summary, &session);
+    summary
+}
+
+/// Copies the session-level statistics (cache sizes, fault and service
+/// counters, persisted-entry counts) into a folded summary, saving the
+/// service's cache as a side effect. Shared by the sequential driver and,
+/// per shard, by the campaign runner.
+pub(crate) fn finish_summary(summary: &mut FuzzSummary, session: &Session) {
     summary.shared_cache_entries = session.shared_cache_entries();
     summary.faults_injected = session.faults().total_injected();
     if let Some(service) = session.service() {
@@ -315,7 +456,6 @@ pub fn run_fuzz_with_progress(config: &FuzzConfig, mut progress: impl FnMut(u64)
         summary.report_misses = stats.report_misses;
         summary.cache_entries_saved = service.save_cache().ok().flatten();
     }
-    summary
 }
 
 #[cfg(test)]

@@ -127,6 +127,10 @@ pub struct CaseStats {
     pub checked_ok: bool,
     /// Cycles simulated across the value and LA/LI oracles.
     pub cycles: u64,
+    /// Which oracle and legality branches the case exercised — a pure
+    /// function of the case seed (see [`crate::CoverageSignature`]), never
+    /// folded into the run fingerprint.
+    pub coverage: crate::CoverageSignature,
 }
 
 /// Session state shared across cases: the persistent cross-program solver
@@ -183,6 +187,21 @@ impl Session {
         }
     }
 
+    /// A session for shard `shard` of a campaign: its own shared solver
+    /// cache and check service (one engine set per shard — shards never
+    /// contend on a lock), with any persistent cache path suffixed per
+    /// shard via [`lilac_service::shard_cache_path`] so concurrent shards
+    /// never race on one image.
+    pub fn for_shard(
+        faults: Option<u64>,
+        cache_file: Option<PathBuf>,
+        incremental: bool,
+        shard: usize,
+    ) -> Session {
+        let cache_file = cache_file.map(|p| lilac_service::shard_cache_path(&p, shard));
+        Session::with_service(faults, cache_file, incremental)
+    }
+
     /// A session without the cross-case cache or service (used by corpus
     /// replays, so a regression's verdict never depends on other cases or
     /// on service-internal fault sites).
@@ -193,6 +212,13 @@ impl Session {
     /// Number of entries accumulated in the shared cache.
     pub fn shared_cache_entries(&self) -> usize {
         self.shared.as_ref().map_or(0, SharedCache::len)
+    }
+
+    /// The session's cross-case shared solver cache, when one is running
+    /// (the campaign merge absorbs every shard's cache into one to recover
+    /// the sequential driver's entry count).
+    pub fn shared_cache(&self) -> Option<&SharedCache> {
+        self.shared.as_ref()
     }
 
     /// The session's check service, when one is running.
@@ -344,6 +370,17 @@ fn round_trip(synth: &Synthesized) -> Result<(), Failure> {
 /// the expected value for each stimulus vector.
 pub type DrivenOutput = (String, u64, Vec<u64>);
 
+/// What one [`drive_netlist`] run observed: the lockstep cycle count (folded
+/// into the run fingerprint via [`CaseStats::cycles`]) and the coverage bits
+/// the drive loop alone can see — netlist shape, rewrite activity, lint
+/// findings. Both are pure functions of the case seed.
+pub(crate) struct DriveReport {
+    /// Number of lockstep cycles driven.
+    pub cycles: u64,
+    /// Drive-loop coverage bits (see [`crate::CoverageSignature`]).
+    pub coverage: crate::CoverageSignature,
+}
+
 /// One lockstep engine in the drive loop: any [`SimBackend`] plus the
 /// oracle name its disagreements report under and its positional port-name
 /// tables (emission may legally rename ports; netlist-level engines reuse
@@ -375,14 +412,14 @@ struct Engine {
 /// the estimated critical path. Finally the batched half of oracle 9 packs
 /// the stimulus vectors one-per-lane into a fresh compiled tape, holds
 /// them constant, and checks every listed output settles to its expected
-/// value in every active lane. Returns the number of lockstep cycles
-/// driven.
+/// value in every active lane. Returns the [`DriveReport`] — lockstep cycle
+/// count plus the coverage bits only the drive loop observes.
 pub(crate) fn drive_netlist(
     netlist: &lilac_ir::Netlist,
     inputs: &[String],
     stimuli: &[Vec<u64>],
     outputs: &[DrivenOutput],
-) -> Result<u64, Failure> {
+) -> Result<DriveReport, Failure> {
     let stimuli: Vec<Vec<u64>> =
         if stimuli.is_empty() { vec![vec![0; inputs.len()]] } else { stimuli.to_vec() };
     let m = stimuli.len();
@@ -484,16 +521,17 @@ pub(crate) fn drive_netlist(
     // design, keep every output bit-identical on every cycle — is exactly
     // what this oracle observes. A panic inside the optimizer is converted
     // into a failure so the shrinker can minimize it like any disagreement.
-    let optimized =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| lilac_opt::optimize(netlist)))
-            .map_err(|p| {
-                let msg = p
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| p.downcast_ref::<&str>().copied())
-                    .unwrap_or("optimizer panicked");
-                Failure::new("opt", format!("optimizer panicked: {msg}"))
-            })?;
+    let (optimized, opt_stats) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lilac_opt::optimize_with_stats(netlist)
+    }))
+    .map_err(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| p.downcast_ref::<&str>().copied())
+            .unwrap_or("optimizer panicked");
+        Failure::new("opt", format!("optimizer panicked: {msg}"))
+    })?;
     if optimized.node_count() > netlist.node_count() {
         return Err(Failure::new(
             "opt",
@@ -517,16 +555,17 @@ pub(crate) fn drive_netlist(
     // self-check is behaviour: the lockstep cycle-exact comparison in the
     // drive loop below, plus the emitted-Verilog round-trip, are this
     // oracle's own contribution.
-    let retimed =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| lilac_opt::retime(netlist)))
-            .map_err(|p| {
-                let msg = p
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| p.downcast_ref::<&str>().copied())
-                    .unwrap_or("retimer panicked");
-                Failure::new("retime", format!("retimer panicked: {msg}"))
-            })?;
+    let (retimed, retime_stats) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lilac_opt::retime_with_stats(netlist)
+    }))
+    .map_err(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| p.downcast_ref::<&str>().copied())
+            .unwrap_or("retimer panicked");
+        Failure::new("retime", format!("retimer panicked: {msg}"))
+    })?;
     let ret_sim = Simulator::new(&retimed)
         .map_err(|e| Failure::new("retime", format!("retimed netlist rejected: {e}")))?;
     // The retimed netlist's own emitted Verilog must round-trip too —
@@ -573,6 +612,27 @@ pub(crate) fn drive_netlist(
                 Failure::new("analysis", format!("analyzer panicked: {msg}"))
             })?
             .map_err(|e| Failure::new("analysis", format!("analyzer rejected netlist: {e}")))?;
+
+    // The drive loop's coverage bits: everything here is derived from the
+    // netlist and the deterministic rewrite passes — a pure function of the
+    // case seed, identical on replay and under any shard layout.
+    let mut coverage = crate::CoverageSignature::default();
+    coverage.set_if(crate::CoverageSignature::MULTI_OUTPUT, all_outputs.len() > 1);
+    coverage.set_if(crate::CoverageSignature::MULTI_STIMULUS, m > 1);
+    coverage.set_if(crate::CoverageSignature::PIPELINED, max_lat > 0);
+    coverage.set_if(crate::CoverageSignature::OPT_REWROTE, opt_stats.total_rewrites() > 0);
+    coverage.set_if(crate::CoverageSignature::RETIME_MOVED, retime_stats.moves() > 0);
+    coverage.set_if(
+        crate::CoverageSignature::KNOWN_BITS_FOLDED,
+        opt_stats.known_bits_folded
+            + opt_stats.mux_selects_narrowed
+            + opt_stats.concat_zeros_stripped
+            > 0,
+    );
+    coverage.set_if(
+        crate::CoverageSignature::LINTED,
+        !lilac_analysis::lint::lint_with(netlist, &analysis).is_empty(),
+    );
 
     let mut engines = vec![
         raw_names(Box::new(li_sim), "la-li", "LI wrapper"),
@@ -746,7 +806,7 @@ pub(crate) fn drive_netlist(
         }
     }
 
-    Ok(total)
+    Ok(DriveReport { cycles: total, coverage })
 }
 
 /// Emits a netlist as Verilog, parses it back with `lilac-vsim`, and builds
@@ -771,7 +831,7 @@ fn verilog_sim(
 
 /// Elaborates a synthesized program and runs [`drive_netlist`] against the
 /// scenario interpreter's predictions.
-fn simulate(scenario: &Scenario, synth: &Synthesized) -> Result<u64, Failure> {
+fn simulate(scenario: &Scenario, synth: &Synthesized) -> Result<DriveReport, Failure> {
     let params = BTreeMap::from([("W".to_string(), synth.width)]);
     let module = elaborate_module(&synth.program, synth.top, &params, &ElabConfig::default())
         .map_err(|e| {
@@ -919,10 +979,16 @@ pub fn run_case(scenario: &Scenario, session: &Session) -> Result<CaseStats, Fai
         checked_ok: check.is_ok(),
         ..CaseStats::default()
     };
+    stats.coverage.set_if(crate::CoverageSignature::CHECKED, check.is_ok());
+    stats.coverage.set_if(crate::CoverageSignature::GEN_BLOCK, scenario.gen_block.is_some());
+    stats.coverage.set_if(crate::CoverageSignature::SUB_COMPONENT, !scenario.subs.is_empty());
+    stats.coverage.set_if(crate::CoverageSignature::WIDE, scenario.width >= 16);
     if let Ok(report) = &check {
         stats.obligations = report.total_obligations();
         stats.queries = report.solver_stats().queries as u64;
-        stats.cycles = simulate(scenario, &synth)?;
+        let drive = simulate(scenario, &synth)?;
+        stats.cycles = drive.cycles;
+        stats.coverage.0 |= drive.coverage.0;
     }
     Ok(stats)
 }

@@ -45,6 +45,38 @@ fn every_corpus_case_replays() {
     assert!(ran >= 15);
 }
 
+/// The distilled corpus (`fuzz/corpus/distilled/`) is the minimal subset
+/// of a 200-case seed-0 campaign covering every observed coverage
+/// signature (`lilac-fuzz campaign --cases 200 --seed 0 --distill`).
+/// Every file must replay, and the recorded signature in its directives
+/// must be unique within the directory — one file per signature is the
+/// distillation invariant.
+#[test]
+fn distilled_corpus_replays_with_unique_signatures() {
+    let dir = corpus_dir().join("distilled");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fuzz/corpus/distilled directory exists")
+        .filter_map(std::result::Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lilac"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 30, "expected a substantial distilled corpus, found {}", paths.len());
+    let mut signatures = std::collections::BTreeSet::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("distilled file reads");
+        let d = lilac_fuzz::corpus::parse_directives(&text).expect("directives parse");
+        let sig = d.signature.expect("distilled cases record their coverage signature");
+        assert!(
+            signatures.insert(sig),
+            "{}: duplicate signature {sig} — distillation keeps one case per signature",
+            path.display()
+        );
+        lilac_fuzz::corpus::run_text(&text)
+            .unwrap_or_else(|e| panic!("{} failed to replay: {e}", path.display()));
+    }
+}
+
 /// The corpus contains the feature mix the fuzzer generates: generator
 /// blocks, sub-components, sabotaged (rejected) programs, and
 /// retiming-sensitive cases.

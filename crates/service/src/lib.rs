@@ -90,6 +90,36 @@ pub struct ServiceConfig {
     pub faults: FaultPlan,
 }
 
+impl ServiceConfig {
+    /// Specializes this configuration for shard `shard` of a multi-service
+    /// campaign: every on-disk cache path is suffixed with the shard index
+    /// (via [`shard_cache_path`]) so N concurrent services never race on one
+    /// image, while shard 0 of a one-shard campaign keeps the unsuffixed
+    /// paths a sequential run would use — its cache files stay
+    /// interchangeable with the sequential driver's.
+    #[must_use]
+    pub fn for_shard(mut self, shard: usize) -> ServiceConfig {
+        if shard > 0 {
+            self.cache_path = self.cache_path.map(|p| shard_cache_path(&p, shard));
+            self.report_cache_path = self.report_cache_path.map(|p| shard_cache_path(&p, shard));
+        }
+        self
+    }
+}
+
+/// The per-shard variant of a persistent cache path: `cache.bin` becomes
+/// `cache.bin.shard3` for shard 3. Shard 0 keeps the original path (see
+/// [`ServiceConfig::for_shard`]).
+#[must_use]
+pub fn shard_cache_path(path: &std::path::Path, shard: usize) -> PathBuf {
+    if shard == 0 {
+        return path.to_path_buf();
+    }
+    let mut name = path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(&format!(".shard{shard}"));
+    path.with_file_name(name)
+}
+
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {

@@ -37,8 +37,7 @@ fn emitted_verilog_matches_interpreter_at_widths_1_63_64() {
     for width in [1u32, 63, 64] {
         let n = arith_netlist(width);
         let verilog = emit_verilog(&n);
-        let design =
-            parse_design(&verilog).unwrap_or_else(|e| panic!("width {width}: parse: {e}"));
+        let design = parse_design(&verilog).unwrap_or_else(|e| panic!("width {width}: parse: {e}"));
         let mut vsim = VSimulator::new(&design).expect("simulatable");
         let mut sim = Simulator::new(&n).expect("valid netlist");
         let mut rng = Rng::new(0xED6E ^ u64::from(width));
